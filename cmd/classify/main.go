@@ -1,0 +1,77 @@
+// Command classify estimates the consensus number of a shared-object type
+// by bounded protocol synthesis (internal/hierarchy.Classify): it searches
+// for 2- and 3-process wait-free consensus protocols over the object's
+// operation menu, re-verifying anything it finds with the exhaustive
+// checker. Lower bounds are certain; "=" verdicts hold within the searched
+// bounds only.
+//
+// Usage:
+//
+//	classify -object registers -depth 2
+//	classify -object cas -depth 1
+//	classify -object queue -depth 2
+//	classify -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waitfree/internal/hierarchy"
+	"waitfree/internal/model"
+)
+
+func objects() map[string]func() model.Object {
+	cas := model.RMWFn{
+		Name: "compare-and-swap",
+		Apply: func(cur, a, b model.Value) model.Value {
+			if cur == a {
+				return b
+			}
+			return cur
+		},
+		Operands: [][2]model.Value{{model.None, 0}, {model.None, 1}},
+	}
+	return map[string]func() model.Object{
+		"registers": func() model.Object { return model.NewMemory("rw", make([]model.Value, 2)) },
+		"register1": func() model.Object { return model.NewMemory("rw1", make([]model.Value, 1)) },
+		"cas": func() model.Object {
+			return model.NewMemory("cas", []model.Value{model.None}, model.WithRMW(cas), model.WithoutRW())
+		},
+		"tas": func() model.Object {
+			return model.NewMemory("tas", []model.Value{0}, model.WithRMW(model.TestAndSet), model.WithoutRW())
+		},
+		"queue":    func() model.Object { return model.NewQueue("queue", nil) },
+		"augqueue": func() model.Object { return model.NewAugmentedQueue("augqueue", nil) },
+		"channels": func() model.Object { return model.NewChannels("p2p", 2) },
+	}
+}
+
+func main() {
+	var (
+		object = flag.String("object", "", "object to classify (see -list)")
+		depth  = flag.Int("depth", 2, "per-process operation bound")
+		budget = flag.Int64("budget", 0, "search node budget (0 = default)")
+		list   = flag.Bool("list", false, "list known objects")
+	)
+	flag.Parse()
+
+	objs := objects()
+	if *list || *object == "" {
+		fmt.Println("objects:")
+		for name := range objs {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("\nLower bounds are certain (found protocols are re-verified);")
+		fmt.Println("\"=\" verdicts hold within the searched depth and value domain only.")
+		return
+	}
+	mk, ok := objs[*object]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "classify: unknown object %q (try -list)\n", *object)
+		os.Exit(1)
+	}
+	c := hierarchy.Classify(mk(), *depth, *budget)
+	fmt.Printf("%s: %s\n", *object, c)
+}

@@ -1,0 +1,141 @@
+// Command wfdemo demonstrates the paper's motivating claim (Section 1):
+// critical-section objects let one stalled process block everyone, while
+// the wait-free universal construction lets every healthy process finish
+// its operations regardless.
+//
+// It runs the same counter workload twice — once over a lock, once over the
+// universal construction — while process 0 repeatedly stalls mid-operation,
+// and reports how far the healthy processes got.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"waitfree"
+	"waitfree/internal/baseline"
+	"waitfree/internal/seqspec"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 4, "worker processes")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window")
+		stall    = flag.Duration("stall", 50*time.Millisecond, "stall injected into process 0")
+		every    = flag.Int("every", 20, "stall every k-th operation of process 0")
+	)
+	flag.Parse()
+
+	fmt.Printf("Workload: %d workers incrementing a shared counter for %v;\n", *workers, *duration)
+	fmt.Printf("process 0 stalls %v every %d operations, in the middle of an operation.\n\n", *stall, *every)
+
+	lockStats := runLocked(*workers, *duration, *stall, *every)
+	wfStats := runWaitFree(*workers, *duration, *stall, *every)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tLOCK ops\tLOCK max-latency\tWAIT-FREE ops\tWAIT-FREE max-latency")
+	var lockWorst, wfWorst time.Duration
+	for p := 0; p < *workers; p++ {
+		label := fmt.Sprintf("P%d", p)
+		if p == 0 {
+			label += " (stalling)"
+		} else {
+			if lockStats[p].maxLatency > lockWorst {
+				lockWorst = lockStats[p].maxLatency
+			}
+			if wfStats[p].maxLatency > wfWorst {
+				wfWorst = wfStats[p].maxLatency
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t%v\n", label,
+			lockStats[p].ops, lockStats[p].maxLatency,
+			wfStats[p].ops, wfStats[p].maxLatency)
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nWorst healthy-worker operation latency: lock-based %v, wait-free %v\n",
+		lockWorst, wfWorst)
+	fmt.Println("\nA lock-based healthy worker that requests the lock while P0 sleeps inside")
+	fmt.Println("the critical section waits out the entire stall; wait-free workers never do.")
+}
+
+type workerStats struct {
+	ops        int64
+	maxLatency time.Duration
+}
+
+func runLocked(workers int, duration, stall time.Duration, every int) []workerStats {
+	obj := baseline.NewLocked(seqspec.Counter{})
+	var count0 int
+	obj.CriticalSection = func(pid int) {
+		if pid == 0 {
+			count0++
+			if count0%every == 0 {
+				time.Sleep(stall)
+			}
+		}
+	}
+	return drive(workers, duration, func(pid int, op seqspec.Op) int64 {
+		return obj.Invoke(pid, op)
+	})
+}
+
+func runWaitFree(workers int, duration, stall time.Duration, every int) []workerStats {
+	inner := waitfree.NewSwapFetchAndCons()
+	fac := &delayFAC{inner: inner, victim: 0, stall: stall, every: int64(every)}
+	u := waitfree.New(seqspec.Counter{}, fac, workers)
+	return drive(workers, duration, u.Invoke)
+}
+
+// delayFAC injects the stall after the cons step of the victim's operation
+// — the worst moment for the construction: the entry is announced in the
+// shared list but its snapshot has not been stored yet.
+type delayFAC struct {
+	inner  waitfree.FetchAndCons
+	victim int
+	stall  time.Duration
+	every  int64
+	count  atomic.Int64
+}
+
+func (d *delayFAC) FetchAndCons(pid int, e *waitfree.Entry) *waitfree.Node {
+	out := d.inner.FetchAndCons(pid, e)
+	if pid == d.victim && d.count.Add(1)%d.every == 0 {
+		time.Sleep(d.stall)
+	}
+	return out
+}
+
+func drive(workers int, duration time.Duration, invoke func(int, seqspec.Op) int64) []workerStats {
+	stats := make([]workerStats, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				start := time.Now()
+				invoke(p, seqspec.Op{Kind: "inc"})
+				if d := time.Since(start); d > stats[p].maxLatency {
+					stats[p].maxLatency = d
+				}
+				stats[p].ops++
+				runtime.Gosched() // rotate fairly on few cores
+			}
+		}()
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	return stats
+}

@@ -1,0 +1,178 @@
+// Package automata renders Section 2 of Herlihy's PODC 1988 paper
+// executable: processes, objects and schedulers as I/O automata
+// (after Lynch & Tuttle), composed into the sequential and concurrent
+// systems of Figures 2-1 and 2-2.
+//
+// An I/O automaton has input events (which can never be disabled) and
+// output events (enabled by its current state); a composition steps all
+// components that share an event. The paper's sequential scheduler
+// (Figure 2-2) relays CALLs as INVOKEs one at a time, guarded by a mutex
+// component; the concurrent scheduler is the same automaton with the mutex
+// erased — which is the entire formal difference between "sequential" and
+// "concurrent" systems, and why linearizability is stated as "there exists
+// a sequential history with the same process subhistories".
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"waitfree/internal/seqspec"
+)
+
+// EventKind enumerates the four event classes of Section 2.2.
+type EventKind int
+
+// Event kinds. CALL/RETURN connect processes to the scheduler;
+// INVOKE/RESPOND connect the scheduler to objects.
+const (
+	Call EventKind = iota + 1
+	Return
+	Invoke
+	Respond
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Call:
+		return "CALL"
+	case Return:
+		return "RETURN"
+	case Invoke:
+		return "INVOKE"
+	case Respond:
+		return "RESPOND"
+	}
+	return "?"
+}
+
+// Event is one event of the composed system: a kind, the process and object
+// names it is indexed by, and the operation or result it carries.
+type Event struct {
+	Kind EventKind
+	Proc string
+	Obj  string
+	Op   seqspec.Op // for Call and Invoke
+	Res  int64      // for Return and Respond
+}
+
+// String renders the event in the paper's notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case Call, Invoke:
+		return fmt.Sprintf("%s(%s, %s, %s)", e.Kind, e.Proc, e.Op, e.Obj)
+	default:
+		return fmt.Sprintf("%s(%s, %d, %s)", e.Kind, e.Proc, e.Res, e.Obj)
+	}
+}
+
+// Automaton is an executable deterministic I/O automaton.
+type Automaton interface {
+	// Name identifies the component.
+	Name() string
+	// Owns reports whether e belongs to this automaton's event signature
+	// (input or output); composition steps exactly the owners.
+	Owns(e Event) bool
+	// Enabled returns the output events enabled in the current state.
+	Enabled() []Event
+	// Apply transitions on e, which must be owned (inputs may never be
+	// refused; outputs must currently be enabled).
+	Apply(e Event)
+}
+
+// System is a composition of automata with disjoint outputs (Section 2.1).
+type System struct {
+	parts   []Automaton
+	history []Event
+}
+
+// NewSystem composes the given automata.
+func NewSystem(parts ...Automaton) *System {
+	return &System{parts: parts}
+}
+
+// Enabled returns all output events enabled in any component.
+func (s *System) Enabled() []Event {
+	var out []Event
+	for _, p := range s.parts {
+		out = append(out, p.Enabled()...)
+	}
+	return out
+}
+
+// Step applies e to every component that owns it and records it in the
+// history.
+func (s *System) Step(e Event) {
+	for _, p := range s.parts {
+		if p.Owns(e) {
+			p.Apply(e)
+		}
+	}
+	s.history = append(s.history, e)
+}
+
+// Run drives the system with the given scheduler choice function until no
+// output is enabled or the step budget runs out; it returns the history.
+// choose receives the enabled events (sorted deterministically) and picks
+// one.
+func (s *System) Run(budget int, choose func([]Event) Event) []Event {
+	for i := 0; i < budget; i++ {
+		enabled := s.Enabled()
+		if len(enabled) == 0 {
+			break
+		}
+		sortEvents(enabled)
+		s.Step(choose(enabled))
+	}
+	return s.History()
+}
+
+// RunRandom drives the system with a seeded random scheduler.
+func (s *System) RunRandom(budget int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	return s.Run(budget, func(es []Event) Event { return es[rng.Intn(len(es))] })
+}
+
+// History returns the events so far.
+func (s *System) History() []Event {
+	return append([]Event(nil), s.history...)
+}
+
+// Project returns the subhistory H|P of events involving process name p
+// (the paper's H | P notation).
+func Project(h []Event, proc string) []Event {
+	var out []Event
+	for _, e := range h {
+		if e.Proc == proc {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WellFormed reports whether the process subhistory alternates matching
+// CALL and RETURN events starting with a CALL (Section 2.2).
+func WellFormed(h []Event, proc string) bool {
+	sub := Project(h, proc)
+	wantCall := true
+	for _, e := range sub {
+		switch e.Kind {
+		case Call:
+			if !wantCall {
+				return false
+			}
+			wantCall = false
+		case Return:
+			if wantCall {
+				return false
+			}
+			wantCall = true
+		}
+	}
+	return true
+}
+
+func sortEvents(es []Event) {
+	sort.Slice(es, func(i, j int) bool { return es[i].String() < es[j].String() })
+}

@@ -1,0 +1,225 @@
+package automata
+
+import (
+	"fmt"
+	"testing"
+
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+)
+
+func enq(v int64) seqspec.Op { return seqspec.Op{Kind: "enq", Args: []int64{v}} }
+
+var deq = seqspec.Op{Kind: "deq"}
+
+// buildQueueSystem composes two processes, a queue object and the given
+// scheduler, mirroring Figure 2-1.
+func buildQueueSystem(sched Automaton) (*System, []*Process) {
+	p1 := &Process{ProcName: "P1", ObjName: "Q", Script: []seqspec.Op{enq(1), deq, enq(3)}}
+	p2 := &Process{ProcName: "P2", ObjName: "Q", Script: []seqspec.Op{enq(2), deq, deq}}
+	obj := NewObject("Q", seqspec.Queue{})
+	return NewSystem(p1, p2, obj, sched), []*Process{p1, p2}
+}
+
+// TestSequentialSystemSerializes: under the Figure 2-2 scheduler, the
+// history between INVOKE and RESPOND never contains another INVOKE — the
+// mutex component serializes object access — and every process history is
+// well-formed.
+func TestSequentialSystemSerializes(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		sys, procs := buildQueueSystem(&SeqScheduler{})
+		h := sys.RunRandom(10_000, seed)
+		busy := false
+		for _, e := range h {
+			switch e.Kind {
+			case Invoke:
+				if busy {
+					t.Fatalf("seed %d: INVOKE while another operation is in progress", seed)
+				}
+				busy = true
+			case Respond:
+				busy = false
+			}
+		}
+		for _, p := range procs {
+			if !p.Done() {
+				t.Fatalf("seed %d: %s did not finish", seed, p.Name())
+			}
+			if !WellFormed(h, p.ProcName) {
+				t.Fatalf("seed %d: %s history not well-formed", seed, p.ProcName)
+			}
+		}
+	}
+}
+
+// TestConcurrentSystemLinearizable: under the concurrent scheduler,
+// invocations overlap, yet the object automaton (which takes effect at
+// RESPOND) always yields a linearizable completed history — the Section
+// 2.3 correctness condition, checked with the independent Wing–Gould
+// checker using CALL/RETURN as the real-time interval.
+func TestConcurrentSystemLinearizable(t *testing.T) {
+	sawOverlap := false
+	for seed := int64(0); seed < 80; seed++ {
+		sys, procs := buildQueueSystem(&ConcScheduler{})
+		h := sys.RunRandom(10_000, seed)
+		for _, p := range procs {
+			if !p.Done() {
+				t.Fatalf("seed %d: %s did not finish", seed, p.Name())
+			}
+			if !WellFormed(h, p.ProcName) {
+				t.Fatalf("seed %d: %s history not well-formed", seed, p.ProcName)
+			}
+		}
+		// Detect genuine overlap (INVOKE before the previous RESPOND).
+		depth := 0
+		for _, e := range h {
+			switch e.Kind {
+			case Invoke:
+				depth++
+				if depth > 1 {
+					sawOverlap = true
+				}
+			case Respond:
+				depth--
+			}
+		}
+		// Convert to the linearizability checker's event form.
+		var events []linearize.Event
+		type open struct {
+			op seqspec.Op
+			ts int64
+		}
+		pendingByProc := map[string]open{}
+		clock := int64(0)
+		pidOf := map[string]int{"P1": 1, "P2": 2}
+		for _, e := range h {
+			clock++
+			switch e.Kind {
+			case Call:
+				pendingByProc[e.Proc] = open{op: e.Op, ts: clock}
+			case Return:
+				o := pendingByProc[e.Proc]
+				events = append(events, linearize.Event{
+					Pid: pidOf[e.Proc], Op: o.op, Resp: e.Res, Invoke: o.ts, Return: clock,
+				})
+				delete(pendingByProc, e.Proc)
+			}
+		}
+		if res := linearize.Check(seqspec.Queue{}, events); !res.OK {
+			for _, e := range h {
+				t.Logf("  %s", e)
+			}
+			t.Fatalf("seed %d: concurrent-system history not linearizable", seed)
+		}
+	}
+	if !sawOverlap {
+		t.Error("concurrent scheduler never produced overlapping operations")
+	}
+}
+
+// TestSequentialDeterminism: with a deterministic choice rule, the
+// sequential system's responses are a function of the serialization order;
+// running the same schedule twice gives identical histories.
+func TestSequentialDeterminism(t *testing.T) {
+	run := func() string {
+		sys, _ := buildQueueSystem(&SeqScheduler{})
+		h := sys.Run(10_000, func(es []Event) Event { return es[0] })
+		s := ""
+		for _, e := range h {
+			s += e.String() + ";"
+		}
+		return s
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("deterministic schedule produced different histories:\n%s\n%s", a, b)
+	}
+}
+
+// TestProjectAndWellFormed exercise the history operators on a handmade
+// history.
+func TestProjectAndWellFormed(t *testing.T) {
+	h := []Event{
+		{Kind: Call, Proc: "P1", Obj: "Q", Op: enq(1)},
+		{Kind: Call, Proc: "P2", Obj: "Q", Op: deq},
+		{Kind: Return, Proc: "P1", Obj: "Q", Res: 0},
+		{Kind: Return, Proc: "P2", Obj: "Q", Res: seqspec.Empty},
+	}
+	if got := len(Project(h, "P1")); got != 2 {
+		t.Errorf("Project P1 = %d events", got)
+	}
+	if !WellFormed(h, "P1") || !WellFormed(h, "P2") {
+		t.Error("well-formed history rejected")
+	}
+	bad := []Event{
+		{Kind: Call, Proc: "P1", Obj: "Q", Op: enq(1)},
+		{Kind: Call, Proc: "P1", Obj: "Q", Op: enq(2)}, // second CALL without RETURN
+	}
+	if WellFormed(bad, "P1") {
+		t.Error("pipelined CALLs accepted as well-formed")
+	}
+}
+
+// TestObjectTotality: the object automaton always has an enabled response
+// for a pending invocation, even on an empty queue — Section 2.2's totality
+// requirement.
+func TestObjectTotality(t *testing.T) {
+	obj := NewObject("Q", seqspec.Queue{})
+	obj.Apply(Event{Kind: Invoke, Proc: "P1", Obj: "Q", Op: deq})
+	es := obj.Enabled()
+	if len(es) != 1 {
+		t.Fatalf("enabled = %d events", len(es))
+	}
+	if es[0].Res != seqspec.Empty {
+		t.Errorf("empty deq response = %d", es[0].Res)
+	}
+}
+
+// TestEventStrings pins the paper-style rendering.
+func TestEventStrings(t *testing.T) {
+	e := Event{Kind: Call, Proc: "P1", Obj: "Q", Op: enq(7)}
+	if got := e.String(); got != "CALL(P1, enq(7), Q)" {
+		t.Errorf("String = %q", got)
+	}
+	r := Event{Kind: Respond, Proc: "P2", Obj: "Q", Res: 3}
+	if got := r.String(); got != "RESPOND(P2, 3, Q)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestMultiObjectSystem: two objects under one concurrent scheduler; events
+// route by object name.
+func TestMultiObjectSystem(t *testing.T) {
+	p1 := &Process{ProcName: "P1", ObjName: "A", Script: []seqspec.Op{{Kind: "inc"}, {Kind: "get"}}}
+	p2 := &Process{ProcName: "P2", ObjName: "B", Script: []seqspec.Op{{Kind: "inc"}, {Kind: "inc"}, {Kind: "get"}}}
+	a := NewObject("A", seqspec.Counter{})
+	b := NewObject("B", seqspec.Counter{})
+	sys := NewSystem(p1, p2, a, b, &ConcScheduler{})
+	sys.RunRandom(10_000, 1)
+	if !p1.Done() || !p2.Done() {
+		t.Fatal("processes did not finish")
+	}
+	if got := p1.Results[1]; got != 1 {
+		t.Errorf("P1 get = %d, want 1", got)
+	}
+	if got := p2.Results[2]; got != 2 {
+		t.Errorf("P2 get = %d, want 2", got)
+	}
+}
+
+func ExampleSystem() {
+	p := &Process{ProcName: "P1", ObjName: "Q", Script: []seqspec.Op{enq(7), deq}}
+	sys := NewSystem(p, NewObject("Q", seqspec.Queue{}), &SeqScheduler{})
+	h := sys.Run(100, func(es []Event) Event { return es[0] })
+	for _, e := range h {
+		fmt.Println(e)
+	}
+	// Output:
+	// CALL(P1, enq(7), Q)
+	// INVOKE(P1, enq(7), Q)
+	// RESPOND(P1, 0, Q)
+	// RETURN(P1, 0, Q)
+	// CALL(P1, deq(), Q)
+	// INVOKE(P1, deq(), Q)
+	// RESPOND(P1, 7, Q)
+	// RETURN(P1, 7, Q)
+}

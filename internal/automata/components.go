@@ -1,0 +1,214 @@
+package automata
+
+import (
+	"waitfree/internal/seqspec"
+)
+
+// Process is the process automaton of Section 2.2: a sequential thread of
+// control that emits CALL(P, op, X) for each operation of its script and
+// consumes the matching RETURN. Its histories are well-formed by
+// construction.
+type Process struct {
+	ProcName string
+	ObjName  string
+	Script   []seqspec.Op
+
+	idx     int
+	waiting bool
+	// Results accumulates the responses received, for assertions.
+	Results []int64
+}
+
+var _ Automaton = (*Process)(nil)
+
+// Name implements Automaton.
+func (p *Process) Name() string { return p.ProcName }
+
+// Owns implements Automaton.
+func (p *Process) Owns(e Event) bool {
+	return (e.Kind == Call || e.Kind == Return) && e.Proc == p.ProcName
+}
+
+// Enabled implements Automaton.
+func (p *Process) Enabled() []Event {
+	if p.waiting || p.idx >= len(p.Script) {
+		return nil
+	}
+	return []Event{{Kind: Call, Proc: p.ProcName, Obj: p.ObjName, Op: p.Script[p.idx]}}
+}
+
+// Apply implements Automaton.
+func (p *Process) Apply(e Event) {
+	switch e.Kind {
+	case Call:
+		p.waiting = true
+	case Return:
+		p.Results = append(p.Results, e.Res)
+		p.waiting = false
+		p.idx++
+	}
+}
+
+// Done reports whether the script has completed.
+func (p *Process) Done() bool { return p.idx >= len(p.Script) && !p.waiting }
+
+// Object is the object automaton of Section 2.2: input INVOKE(P, op, X),
+// output RESPOND(P, res, X). The wrapped sequential specification is
+// applied when the response fires, which makes the object linearizable by
+// construction (each operation takes effect atomically at its RESPOND,
+// strictly between invocation and response). Under the sequential scheduler
+// at most one invocation is ever pending; under the concurrent scheduler
+// several may be, and any enabled response may fire.
+type Object struct {
+	ObjName string
+	State   seqspec.State
+
+	pending []Event // pending invocations, in arrival order
+}
+
+var _ Automaton = (*Object)(nil)
+
+// NewObject builds the automaton for obj.
+func NewObject(name string, obj seqspec.Object) *Object {
+	return &Object{ObjName: name, State: obj.Init()}
+}
+
+// Name implements Automaton.
+func (o *Object) Name() string { return o.ObjName }
+
+// Owns implements Automaton.
+func (o *Object) Owns(e Event) bool {
+	return (e.Kind == Invoke || e.Kind == Respond) && e.Obj == o.ObjName
+}
+
+// Enabled implements Automaton: every pending invocation has an enabled
+// response (operations are total).
+func (o *Object) Enabled() []Event {
+	var out []Event
+	for _, inv := range o.pending {
+		res := o.State.Clone().Apply(inv.Op)
+		out = append(out, Event{Kind: Respond, Proc: inv.Proc, Obj: o.ObjName, Op: inv.Op, Res: res})
+	}
+	return out
+}
+
+// Apply implements Automaton.
+func (o *Object) Apply(e Event) {
+	switch e.Kind {
+	case Invoke:
+		o.pending = append(o.pending, e)
+	case Respond:
+		for i, inv := range o.pending {
+			if inv.Proc == e.Proc {
+				o.pending = append(o.pending[:i], o.pending[i+1:]...)
+				break
+			}
+		}
+		o.State.Apply(e.Op) // the operation takes effect now
+	}
+}
+
+// SeqScheduler is the sequential scheduler of Figure 2-2, transcribed: it
+// records CALLs, relays one INVOKE at a time guarded by the mutex
+// component, records RESPONDs, and RETURNs them to the calling process.
+type SeqScheduler struct {
+	called    []Event
+	responded []Event
+	busy      bool
+}
+
+var _ Automaton = (*SeqScheduler)(nil)
+
+// Name implements Automaton.
+func (s *SeqScheduler) Name() string { return "sequential-scheduler" }
+
+// Owns implements Automaton: the scheduler mediates all four event kinds.
+func (s *SeqScheduler) Owns(e Event) bool {
+	return e.Kind == Call || e.Kind == Respond || // inputs
+		e.Kind == Invoke || e.Kind == Return // outputs
+}
+
+// Enabled implements Automaton, following Figure 2-2's preconditions:
+// INVOKE requires mutex = idle and a recorded call; RETURN requires a
+// recorded response.
+func (s *SeqScheduler) Enabled() []Event {
+	var out []Event
+	if !s.busy {
+		for _, c := range s.called {
+			out = append(out, Event{Kind: Invoke, Proc: c.Proc, Obj: c.Obj, Op: c.Op})
+		}
+	}
+	for _, r := range s.responded {
+		out = append(out, Event{Kind: Return, Proc: r.Proc, Obj: r.Obj, Op: r.Op, Res: r.Res})
+	}
+	return out
+}
+
+// Apply implements Automaton, following Figure 2-2's postconditions.
+func (s *SeqScheduler) Apply(e Event) {
+	switch e.Kind {
+	case Call:
+		s.called = append(s.called, e)
+	case Invoke:
+		s.called = removeEvent(s.called, e.Proc)
+		s.busy = true // mutex := busy
+	case Respond:
+		s.responded = append(s.responded, e)
+		s.busy = false // mutex := idle
+	case Return:
+		s.responded = removeEvent(s.responded, e.Proc)
+	}
+}
+
+// ConcScheduler is the concurrent scheduler of Section 2.3: Figure 2-2
+// with the mutex component (and every pre/postcondition mentioning it)
+// erased, so invocations relay asynchronously.
+type ConcScheduler struct {
+	called    []Event
+	responded []Event
+}
+
+var _ Automaton = (*ConcScheduler)(nil)
+
+// Name implements Automaton.
+func (s *ConcScheduler) Name() string { return "concurrent-scheduler" }
+
+// Owns implements Automaton.
+func (s *ConcScheduler) Owns(e Event) bool {
+	return e.Kind == Call || e.Kind == Respond || e.Kind == Invoke || e.Kind == Return
+}
+
+// Enabled implements Automaton.
+func (s *ConcScheduler) Enabled() []Event {
+	var out []Event
+	for _, c := range s.called {
+		out = append(out, Event{Kind: Invoke, Proc: c.Proc, Obj: c.Obj, Op: c.Op})
+	}
+	for _, r := range s.responded {
+		out = append(out, Event{Kind: Return, Proc: r.Proc, Obj: r.Obj, Op: r.Op, Res: r.Res})
+	}
+	return out
+}
+
+// Apply implements Automaton.
+func (s *ConcScheduler) Apply(e Event) {
+	switch e.Kind {
+	case Call:
+		s.called = append(s.called, e)
+	case Invoke:
+		s.called = removeEvent(s.called, e.Proc)
+	case Respond:
+		s.responded = append(s.responded, e)
+	case Return:
+		s.responded = removeEvent(s.responded, e.Proc)
+	}
+}
+
+func removeEvent(es []Event, proc string) []Event {
+	for i, e := range es {
+		if e.Proc == proc {
+			return append(append([]Event(nil), es[:i]...), es[i+1:]...)
+		}
+	}
+	return es
+}

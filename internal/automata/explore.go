@@ -1,0 +1,37 @@
+package automata
+
+// Exhaustive schedule exploration for small systems: the paper's properties
+// quantify over all schedules ("for each of its histories H", Section 2.3),
+// and random runs only sample them. The explorer enumerates every schedule
+// of a finite system, invoking a property check on each maximal history.
+
+// ExploreAll enumerates every schedule of a system built by fresh (called
+// once per explored prefix; it must return an equivalent new system) up to
+// maxDepth steps, invoking onComplete with each maximal history. It returns
+// the number of complete histories and prefixes explored.
+//
+// The explorer restarts the system and replays the prefix for every branch,
+// trading time for not requiring component snapshots; components are
+// deterministic functions of the event sequence, so replay is faithful.
+func ExploreAll(fresh func() *System, maxDepth int, onComplete func(h []Event)) (complete, prefixes int) {
+	var rec func(prefix []Event)
+	rec = func(prefix []Event) {
+		prefixes++
+		sys := fresh()
+		for _, e := range prefix {
+			sys.Step(e)
+		}
+		enabled := sys.Enabled()
+		if len(enabled) == 0 || len(prefix) >= maxDepth {
+			complete++
+			onComplete(sys.History())
+			return
+		}
+		sortEvents(enabled)
+		for _, e := range enabled {
+			rec(append(append([]Event(nil), prefix...), e))
+		}
+	}
+	rec(nil)
+	return complete, prefixes
+}

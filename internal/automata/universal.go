@@ -1,0 +1,180 @@
+package automata
+
+import (
+	"fmt"
+
+	"waitfree/internal/seqspec"
+)
+
+// Figures 4-1 and 4-2, literally: the universal construction as composed
+// I/O automata. Each process's front end (Figure 4-1) turns a CALL of the
+// abstract object into an INVOKE of fetch-and-cons on the representation
+// object (Figure 4-2), receives the log of preceding invocations in the
+// RESPOND, computes outgoing = apply(incoming, eval(log)), and RETURNs it.
+//
+// The paper's RESPOND carries the log itself; events here carry int64
+// values, so the representation object responds with a stable handle that
+// denotes the log value (an index into its append-only snapshot table).
+// The front end dereferences the handle through LogAt — a value decoding,
+// not shared mutable state: each handle denotes one immutable list.
+
+// FACRep is the representation automaton of Figure 4-2: its state is the
+// log of operations, most recent first; INVOKE(P, fetch-and-cons(op), R)
+// prepends op, and the enabled RESPOND(P, log', R) carries (a handle to)
+// the log as it was *before* the new operation — "the sequence following
+// its argument's first element" (cdr).
+//
+// Fetch-and-cons is the paper's atomic primitive, so this automaton
+// linearizes each operation at its INVOKE: the log updates and the
+// response value are fixed there, and concurrent invocations from several
+// front ends simply queue for their RESPONDs (Figure 4-2's replyto slot,
+// generalized to the concurrent scheduler's world where several front ends
+// may have invocations outstanding).
+type FACRep struct {
+	RepName string
+
+	log     []seqspec.Op // most recent first
+	pending []Event      // responses owed, one per invoking process
+	// snapshots is the append-only table of log values; a RESPOND's Res is
+	// an index into it.
+	snapshots [][]seqspec.Op
+}
+
+var _ Automaton = (*FACRep)(nil)
+
+// NewFACRep builds an empty-list representation object.
+func NewFACRep(name string) *FACRep {
+	return &FACRep{RepName: name, snapshots: [][]seqspec.Op{nil}}
+}
+
+// Name implements Automaton.
+func (r *FACRep) Name() string { return r.RepName }
+
+// Owns implements Automaton.
+func (r *FACRep) Owns(e Event) bool {
+	return (e.Kind == Invoke || e.Kind == Respond) && e.Obj == r.RepName
+}
+
+// Enabled implements Automaton: a RESPOND is enabled for every process
+// owed one.
+func (r *FACRep) Enabled() []Event {
+	return append([]Event(nil), r.pending...)
+}
+
+// Apply implements Automaton.
+func (r *FACRep) Apply(e Event) {
+	switch e.Kind {
+	case Invoke:
+		// Linearization point: record cdr(log) for the response, prepend.
+		r.snapshots = append(r.snapshots, append([]seqspec.Op(nil), r.log...))
+		r.log = append([]seqspec.Op{e.Op}, r.log...)
+		r.pending = append(r.pending, Event{
+			Kind: Respond, Proc: e.Proc, Obj: r.RepName, Op: e.Op,
+			Res: int64(len(r.snapshots) - 1),
+		})
+	case Respond:
+		for i, p := range r.pending {
+			if p.Proc == e.Proc {
+				r.pending = append(append([]Event(nil), r.pending[:i]...), r.pending[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// LogAt decodes a RESPOND handle into the log value it denotes.
+func (r *FACRep) LogAt(handle int64) []seqspec.Op {
+	return r.snapshots[handle]
+}
+
+// FrontEnd is the front-end automaton of Figure 4-1 for one process: state
+// components incoming (the called operation), outgoing (the computed
+// result) and pending (an invocation is outstanding).
+type FrontEnd struct {
+	ProcName string
+	AbsName  string // the abstract object A
+	Rep      *FACRep
+	Seq      seqspec.Object // the deterministic sequential implementation
+
+	incoming *seqspec.Op
+	outgoing *int64
+	pending  bool
+}
+
+var _ Automaton = (*FrontEnd)(nil)
+
+// Name implements Automaton.
+func (f *FrontEnd) Name() string { return "frontend-" + f.ProcName }
+
+// Owns implements Automaton: the front end receives CALL(P, op, A) and
+// RESPOND(P, log, R), and emits INVOKE(P, fetch-and-cons(op), R) and
+// RETURN(P, res, A).
+func (f *FrontEnd) Owns(e Event) bool {
+	if e.Proc != f.ProcName {
+		return false
+	}
+	switch e.Kind {
+	case Call, Return:
+		return e.Obj == f.AbsName
+	case Invoke, Respond:
+		return e.Obj == f.Rep.RepName
+	}
+	return false
+}
+
+// Enabled implements Automaton, per Figure 4-1: INVOKE is enabled when an
+// operation is incoming and not yet pending; RETURN when outgoing is set.
+func (f *FrontEnd) Enabled() []Event {
+	var out []Event
+	if f.incoming != nil && !f.pending && f.outgoing == nil {
+		out = append(out, Event{Kind: Invoke, Proc: f.ProcName, Obj: f.Rep.RepName, Op: *f.incoming})
+	}
+	if f.outgoing != nil {
+		out = append(out, Event{Kind: Return, Proc: f.ProcName, Obj: f.AbsName, Res: *f.outgoing})
+	}
+	return out
+}
+
+// Apply implements Automaton: the RESPOND case computes
+// outgoing = apply(incoming, eval(log)), Figure 4-1's postcondition.
+func (f *FrontEnd) Apply(e Event) {
+	switch e.Kind {
+	case Call:
+		op := e.Op
+		f.incoming = &op
+	case Invoke:
+		f.pending = true
+	case Respond:
+		log := f.Rep.LogAt(e.Res)
+		state := f.Seq.Init() // eval: replay the log, oldest first
+		for i := len(log) - 1; i >= 0; i-- {
+			state.Apply(log[i])
+		}
+		res := state.Apply(*f.incoming) // apply(incoming, eval(log))
+		f.outgoing = &res
+		f.pending = false
+	case Return:
+		f.incoming = nil
+		f.outgoing = nil
+	}
+}
+
+// NewUniversalSystem composes Figure 2-3's implementation diagram: client
+// processes with the given scripts, one front end per process, and the
+// fetch-and-cons representation object. (The concurrent scheduler of
+// Section 2.3 only relays events; here the front ends emit their INVOKEs
+// directly, which is the same composition with the relay inlined.)
+func NewUniversalSystem(seq seqspec.Object, scripts [][]seqspec.Op) (*System, []*Process, *FACRep) {
+	rep := NewFACRep("R")
+	parts := make([]Automaton, 0, 2*len(scripts)+1)
+	procs := make([]*Process, len(scripts))
+	for i, script := range scripts {
+		name := fmt.Sprintf("P%d", i+1)
+		procs[i] = &Process{ProcName: name, ObjName: "A", Script: script}
+		parts = append(parts, procs[i], &FrontEnd{
+			ProcName: name, AbsName: "A", Rep: rep, Seq: seq,
+		})
+	}
+	parts = append(parts, rep)
+	return NewSystem(parts...), procs, rep
+}

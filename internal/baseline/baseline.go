@@ -1,0 +1,48 @@
+// Package baseline implements what the paper argues against: concurrent
+// objects built from critical sections. A lock-based object is linearizable
+// and simple, but a process that stalls or halts inside the critical
+// section — a page fault, an exhausted quantum, a crash (Section 1) —
+// blocks every other process. The benchmarks and examples contrast this
+// with the wait-free universal construction under injected delays.
+package baseline
+
+import (
+	"sync"
+
+	"waitfree/internal/seqspec"
+)
+
+// Locked wraps a sequential object in a mutex: the classical
+// critical-section implementation.
+type Locked struct {
+	mu    sync.Mutex
+	state seqspec.State
+
+	// CriticalSection, if non-nil, is invoked while the lock is held, with
+	// the calling pid — the fault-injection point that simulates a page
+	// fault or preemption inside the critical section.
+	CriticalSection func(pid int)
+}
+
+// NewLocked builds a lock-based concurrent version of seq.
+func NewLocked(seq seqspec.Object) *Locked {
+	return &Locked{state: seq.Init()}
+}
+
+// Invoke executes op under the lock.
+func (l *Locked) Invoke(pid int, op seqspec.Op) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.CriticalSection != nil {
+		l.CriticalSection(pid)
+	}
+	return l.state.Apply(op)
+}
+
+// Invoker is the shape shared by Locked and core.Universal, letting
+// benchmarks and examples swap implementations.
+type Invoker interface {
+	Invoke(pid int, op seqspec.Op) int64
+}
+
+var _ Invoker = (*Locked)(nil)

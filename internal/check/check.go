@@ -1,0 +1,332 @@
+// Package check exhaustively verifies wait-free consensus protocols in the
+// model world (internal/model).
+//
+// Given a protocol and the shared object it runs over, the checker explores
+// every interleaving of process steps from the initial configuration. Because
+// objects are linearizable and operations total, one atomic
+// invocation+response per step is a faithful execution model (Section 2 of
+// Herlihy's paper). The explored graph includes every crash pattern: a crash
+// of process p is exactly a branch on which p is never scheduled again, and
+// all such branches are explored.
+//
+// Verified properties (Section 3 of the paper):
+//
+//   - Agreement: no execution has two decision values.
+//   - Validity (partial correctness condition 2): if the decision value is
+//     process Pj's input, Pj took at least one step, ruling out trivial
+//     predefined choices.
+//   - Wait-freedom: the configuration graph is finite and acyclic, so every
+//     process that keeps taking steps decides after finitely many of its own
+//     steps, regardless of what other processes do (including halting). The
+//     checker also reports the worst-case per-process step count, which
+//     witnesses the *strongly* wait-free bound when finite.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"waitfree/internal/model"
+)
+
+// ViolationKind classifies a checker failure.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// ViolationAgreement: two different decision values in one execution.
+	ViolationAgreement ViolationKind = "agreement"
+	// ViolationValidity: a decision value whose owner never took a step.
+	ViolationValidity ViolationKind = "validity"
+	// ViolationTermination: a cycle in the configuration graph (a process
+	// could run forever without deciding).
+	ViolationTermination ViolationKind = "termination"
+	// ViolationStepBound: a process exceeded the configured step budget.
+	ViolationStepBound ViolationKind = "step-bound"
+)
+
+// Violation describes a property failure, with the execution that exposes it.
+type Violation struct {
+	Kind  ViolationKind
+	Pid   int         // process whose step exposed the violation
+	Value model.Value // offending decision value, if applicable
+	Trace []string    // human-readable execution from the initial config
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violation at P%d (value %d) after: %s",
+		v.Kind, v.Pid, v.Value, strings.Join(v.Trace, "; "))
+}
+
+// Result reports the outcome of a consensus check.
+type Result struct {
+	OK        bool
+	Violation *Violation
+	// Configs is the number of distinct configurations explored.
+	Configs int
+	// MaxSteps is the largest number of steps any single process took in
+	// any execution; it witnesses the strongly-wait-free bound.
+	MaxSteps int
+	// Decisions is the set of decision values observed across executions.
+	Decisions map[model.Value]bool
+}
+
+// Options tunes a check.
+type Options struct {
+	// StepBudget caps per-process steps; 0 means 256.
+	StepBudget int
+	// ConfigBudget caps explored configurations; 0 means 20 million.
+	ConfigBudget int
+}
+
+type config struct {
+	obj      string
+	locals   []string
+	decided  []bool
+	moved    []bool
+	firstDec model.Value // None until the first decision
+	steps    []int       // per-process step counts (not part of the key)
+}
+
+func (c *config) key() string {
+	var b strings.Builder
+	b.WriteString(c.obj)
+	b.WriteByte('#')
+	for i, l := range c.locals {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		if c.decided[i] {
+			b.WriteString("D")
+		} else {
+			b.WriteString(l)
+		}
+		if c.moved[i] {
+			b.WriteByte('!')
+		}
+	}
+	b.WriteByte('#')
+	b.WriteString(fmt.Sprint(c.firstDec))
+	return b.String()
+}
+
+func (c *config) clone() *config {
+	d := &config{
+		obj:      c.obj,
+		locals:   append([]string(nil), c.locals...),
+		decided:  append([]bool(nil), c.decided...),
+		moved:    append([]bool(nil), c.moved...),
+		firstDec: c.firstDec,
+		steps:    append([]int(nil), c.steps...),
+	}
+	return d
+}
+
+type checker struct {
+	p       model.Protocol
+	obj     model.Object
+	inputs  []model.Value
+	opts    Options
+	visited map[string]bool
+	onStack map[string]bool
+	trace   []string
+	res     *Result
+}
+
+// Consensus exhaustively checks protocol p over object obj with the given
+// input assignment (by the paper's election convention, inputs are usually
+// the process ids themselves).
+func Consensus(p model.Protocol, obj model.Object, inputs []model.Value, opts Options) Result {
+	if opts.StepBudget == 0 {
+		opts.StepBudget = 256
+	}
+	if opts.ConfigBudget == 0 {
+		opts.ConfigBudget = 20_000_000
+	}
+	n := p.Procs()
+	if len(inputs) != n {
+		panic("check: len(inputs) must equal p.Procs()")
+	}
+	c := &config{
+		obj:      obj.Init(),
+		locals:   make([]string, n),
+		decided:  make([]bool, n),
+		moved:    make([]bool, n),
+		firstDec: model.None,
+		steps:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		c.locals[i] = p.Init(i, inputs[i])
+	}
+	ck := &checker{
+		p: p, obj: obj, inputs: inputs, opts: opts,
+		visited: make(map[string]bool),
+		onStack: make(map[string]bool),
+		res:     &Result{OK: true, Decisions: make(map[model.Value]bool)},
+	}
+	ck.explore(c)
+	return *ck.res
+}
+
+// explore walks all successors of c depth-first. It returns false when a
+// violation has been recorded and the search should unwind.
+func (ck *checker) explore(c *config) bool {
+	if !ck.res.OK {
+		return false
+	}
+	k := c.key()
+	if ck.visited[k] {
+		return true
+	}
+	if len(ck.visited) >= ck.opts.ConfigBudget {
+		ck.fail(ViolationStepBound, -1, model.None)
+		return false
+	}
+	ck.visited[k] = true
+	ck.onStack[k] = true
+	defer delete(ck.onStack, k)
+	ck.res.Configs = len(ck.visited)
+
+	n := ck.p.Procs()
+	for pid := 0; pid < n; pid++ {
+		if c.decided[pid] {
+			continue
+		}
+		act := ck.p.Step(pid, c.locals[pid])
+		next := c.clone()
+		next.moved[pid] = true // both deciding and invoking count as steps
+		next.steps[pid]++
+		if next.steps[pid] > ck.opts.StepBudget {
+			ck.trace = append(ck.trace, fmt.Sprintf("P%d exceeds step budget", pid))
+			ck.fail(ViolationStepBound, pid, model.None)
+			return false
+		}
+		if next.steps[pid] > ck.res.MaxSteps {
+			ck.res.MaxSteps = next.steps[pid]
+		}
+
+		switch act.Kind {
+		case model.ActDecide:
+			ck.trace = append(ck.trace, fmt.Sprintf("P%d decides %d", pid, act.Dec))
+			if !ck.checkDecision(c, pid, act.Dec) {
+				return false
+			}
+			next.decided[pid] = true
+			if next.firstDec == model.None {
+				next.firstDec = act.Dec
+			}
+			ck.res.Decisions[act.Dec] = true
+			if !ck.recurse(next) {
+				return false
+			}
+			ck.trace = ck.trace[:len(ck.trace)-1]
+
+		case model.ActInvoke:
+			objNext, resp := ck.obj.Apply(c.obj, act.Op)
+			next.obj = objNext
+			next.locals[pid] = ck.p.Next(pid, c.locals[pid], resp)
+			ck.trace = append(ck.trace, fmt.Sprintf("P%d %s -> %d", pid, act.Op, resp))
+			if !ck.recurse(next) {
+				return false
+			}
+			ck.trace = ck.trace[:len(ck.trace)-1]
+
+		default:
+			panic("check: protocol returned an invalid action kind")
+		}
+	}
+	return true
+}
+
+func (ck *checker) recurse(next *config) bool {
+	nk := next.key()
+	if ck.onStack[nk] {
+		ck.fail(ViolationTermination, -1, model.None)
+		return false
+	}
+	return ck.explore(next)
+}
+
+// checkDecision validates a decision of value v by process pid in config c.
+func (ck *checker) checkDecision(c *config, pid int, v model.Value) bool {
+	if c.firstDec != model.None && c.firstDec != v {
+		ck.fail(ViolationAgreement, pid, v)
+		return false
+	}
+	// The decision value must be some process's input, and per the paper's
+	// partial-correctness condition 2, at least one process holding that
+	// input must have taken a step (so the value was not predefined).
+	owned, moved := false, false
+	for j, in := range ck.inputs {
+		if in != v {
+			continue
+		}
+		owned = true
+		// The decider's own deciding step counts as a step by the owner
+		// when the decider owns the value.
+		moved = moved || c.moved[j] || j == pid
+	}
+	if !owned || !moved {
+		ck.fail(ViolationValidity, pid, v)
+		return false
+	}
+	return true
+}
+
+func (ck *checker) fail(kind ViolationKind, pid int, v model.Value) {
+	if !ck.res.OK {
+		return
+	}
+	ck.res.OK = false
+	ck.res.Violation = &Violation{
+		Kind:  kind,
+		Pid:   pid,
+		Value: v,
+		Trace: append([]string(nil), ck.trace...),
+	}
+}
+
+// AllInputs checks the protocol under every input assignment drawn from the
+// election convention: all permutations where inputs are exactly the process
+// ids. For protocols that treat inputs opaquely this is redundant with the
+// identity assignment, but it is cheap insurance against pid/input
+// asymmetries.
+func AllInputs(p model.Protocol, obj model.Object, opts Options) Result {
+	n := p.Procs()
+	ids := make([]model.Value, n)
+	for i := range ids {
+		ids[i] = model.Value(i)
+	}
+	var last Result
+	ok := true
+	permute(ids, func(perm []model.Value) bool {
+		last = Consensus(p, obj, perm, opts)
+		ok = last.OK
+		return ok
+	})
+	if !ok {
+		return last
+	}
+	return last
+}
+
+// permute invokes f on every permutation of vs; f returning false stops.
+func permute(vs []model.Value, f func([]model.Value) bool) {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(vs) {
+			return f(vs)
+		}
+		for i := k; i < len(vs); i++ {
+			vs[k], vs[i] = vs[i], vs[k]
+			if !rec(k + 1) {
+				vs[k], vs[i] = vs[i], vs[k]
+				return false
+			}
+			vs[k], vs[i] = vs[i], vs[k]
+		}
+		return true
+	}
+	rec(0)
+}

@@ -1,0 +1,146 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"waitfree/internal/model"
+)
+
+// toy protocols exercising the checker's violation detection.
+
+// fixedDecider immediately decides a fixed value, ignoring its input —
+// violating validity when the value's owner never moved.
+func fixedDecider(n int, v model.Value) model.Protocol {
+	return &model.Machine{
+		ProtoName: "fixed",
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value { return []model.Value{input} },
+		OnStep: func(pid, pc int, vars []model.Value) model.Action {
+			return model.Decide(v)
+		},
+		OnResp: func(pid, pc int, vars []model.Value, resp model.Value) (int, []model.Value) {
+			panic("no invocations")
+		},
+	}
+}
+
+// ownDecider decides its own input immediately — agreement must fail for
+// two processes with distinct inputs.
+func ownDecider(n int) model.Protocol {
+	return &model.Machine{
+		ProtoName: "own",
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value { return []model.Value{input} },
+		OnStep: func(pid, pc int, vars []model.Value) model.Action {
+			return model.Decide(vars[0])
+		},
+		OnResp: func(pid, pc int, vars []model.Value, resp model.Value) (int, []model.Value) {
+			panic("no invocations")
+		},
+	}
+}
+
+// spinner reads forever — wait-freedom must fail.
+func spinner(n int) model.Protocol {
+	return &model.Machine{
+		ProtoName: "spinner",
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value { return []model.Value{input} },
+		OnStep: func(pid, pc int, vars []model.Value) model.Action {
+			return model.Invoke(model.Op{Kind: "read", A: 0, B: model.None, C: model.None})
+		},
+		OnResp: func(pid, pc int, vars []model.Value, resp model.Value) (int, []model.Value) {
+			return 0, vars // never advances: same local state forever
+		},
+	}
+}
+
+func TestDetectsAgreementViolation(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Consensus(ownDecider(2), obj, []model.Value{0, 1}, Options{})
+	if res.OK || res.Violation.Kind != ViolationAgreement {
+		t.Fatalf("want agreement violation, got %+v", res)
+	}
+}
+
+func TestDetectsValidityViolation(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	// Decides P1's input before P1 ever moves: in the schedule where P0
+	// decides first, validity fails.
+	res := Consensus(fixedDecider(2, 1), obj, []model.Value{0, 1}, Options{})
+	if res.OK || res.Violation.Kind != ViolationValidity {
+		t.Fatalf("want validity violation, got %+v", res)
+	}
+}
+
+func TestDetectsNonTermination(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Consensus(spinner(1), obj, []model.Value{0}, Options{})
+	if res.OK {
+		t.Fatal("spinner accepted")
+	}
+	if res.Violation.Kind != ViolationTermination {
+		t.Fatalf("want termination violation, got %v", res.Violation.Kind)
+	}
+}
+
+func TestAcceptsOwnDeciderSingleProcess(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Consensus(ownDecider(1), obj, []model.Value{7}, Options{})
+	if !res.OK {
+		t.Fatalf("single own-decider rejected: %v", res.Violation)
+	}
+	if !res.Decisions[7] {
+		t.Fatalf("decisions = %v", res.Decisions)
+	}
+}
+
+func TestViolationTraceReadable(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Consensus(ownDecider(2), obj, []model.Value{0, 1}, Options{})
+	if res.OK {
+		t.Fatal("expected violation")
+	}
+	msg := res.Violation.Error()
+	if !strings.Contains(msg, "agreement") || !strings.Contains(msg, "decides") {
+		t.Errorf("trace not descriptive: %s", msg)
+	}
+}
+
+func TestFuzzDetectsAgreementViolation(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Fuzz(ownDecider(3), obj, 200, 1, Options{})
+	if res.OK {
+		t.Fatal("fuzz missed an agreement violation across 200 trials")
+	}
+}
+
+func TestFuzzAcceptsCorrectProtocol(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	res := Fuzz(ownDecider(1), obj, 100, 1, Options{})
+	if !res.OK {
+		t.Fatalf("fuzz rejected a correct protocol: %v", res.Violation)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	obj := model.NewMemory("m", []model.Value{0})
+	// A machine that advances pc forever (fresh states, no cycle) trips the
+	// step budget rather than the cycle detector.
+	walker := &model.Machine{
+		ProtoName: "walker",
+		N:         1,
+		StartVars: func(pid int, input model.Value) []model.Value { return []model.Value{0} },
+		OnStep: func(pid, pc int, vars []model.Value) model.Action {
+			return model.Invoke(model.Op{Kind: "read", A: 0, B: model.None, C: model.None})
+		},
+		OnResp: func(pid, pc int, vars []model.Value, resp model.Value) (int, []model.Value) {
+			return pc + 1, vars
+		},
+	}
+	res := Consensus(walker, obj, []model.Value{0}, Options{StepBudget: 16})
+	if res.OK || res.Violation.Kind != ViolationStepBound {
+		t.Fatalf("want step-bound violation, got %+v", res)
+	}
+}

@@ -1,0 +1,38 @@
+package check_test
+
+import (
+	"fmt"
+
+	"waitfree/internal/check"
+	"waitfree/internal/model"
+	"waitfree/internal/protocols"
+)
+
+// ExampleConsensus verifies the Theorem 9 queue protocol over every
+// interleaving of two processes.
+func ExampleConsensus() {
+	inst := protocols.Queue2()
+	res := check.Consensus(inst.Proto, inst.Obj, []model.Value{0, 1}, check.Options{})
+	fmt.Println(res.OK, res.MaxSteps)
+	// Output: true 4
+}
+
+// ExampleValency reproduces the proof machinery of the impossibility
+// theorems on a correct protocol: the initial configuration is bivalent and
+// the decision is fixed at a critical step.
+func ExampleValency() {
+	inst := protocols.Queue2()
+	rep := check.Valency(inst.Proto, inst.Obj, []model.Value{0, 1})
+	init := rep.Nodes[rep.InitialKey]
+	fmt.Println(init.Bivalent(), rep.Critical)
+	// Output: true 1
+}
+
+// ExampleFuzz samples random schedules (including crash patterns) at a size
+// beyond exhaustive reach.
+func ExampleFuzz() {
+	inst := protocols.CAS(6)
+	res := check.Fuzz(inst.Proto, inst.Obj, 500, 1, check.Options{})
+	fmt.Println(res.OK)
+	// Output: true
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waitfree/internal/model"
+)
+
+// Fuzz samples random schedules of protocol p over obj instead of
+// exhausting them — the tool for configurations whose interleaving space is
+// too large to enumerate (exhaustive checking covers n <= 3). Each trial
+// draws a random participant subset (absentees model crashed processes), a
+// random input permutation, and a random interleaving, then checks
+// agreement, validity and the per-process step budget.
+func Fuzz(p model.Protocol, obj model.Object, trials int, seed int64, opts Options) Result {
+	if opts.StepBudget == 0 {
+		opts.StepBudget = 4096
+	}
+	n := p.Procs()
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{OK: true, Decisions: make(map[model.Value]bool)}
+
+	for trial := 0; trial < trials; trial++ {
+		inputs := rng.Perm(n)
+		var live []int
+		for pid := 0; pid < n; pid++ {
+			if rng.Intn(4) > 0 {
+				live = append(live, pid)
+			}
+		}
+		if len(live) == 0 {
+			live = append(live, rng.Intn(n))
+		}
+
+		obState := obj.Init()
+		locals := make([]string, n)
+		decided := make([]bool, n)
+		moved := make([]bool, n)
+		steps := make([]int, n)
+		firstDec := model.None
+		var trace []string
+
+		fail := func(kind ViolationKind, pid int, v model.Value) Result {
+			return Result{
+				OK: false,
+				Violation: &Violation{
+					Kind: kind, Pid: pid, Value: v,
+					Trace: append([]string{fmt.Sprintf("fuzz trial %d", trial)}, trace...),
+				},
+				Configs:   res.Configs,
+				MaxSteps:  res.MaxSteps,
+				Decisions: res.Decisions,
+			}
+		}
+
+		for pid := 0; pid < n; pid++ {
+			locals[pid] = p.Init(pid, model.Value(inputs[pid]))
+		}
+		for {
+			var ready []int
+			for _, pid := range live {
+				if !decided[pid] {
+					ready = append(ready, pid)
+				}
+			}
+			if len(ready) == 0 {
+				break
+			}
+			pid := ready[rng.Intn(len(ready))]
+			steps[pid]++
+			res.Configs++
+			if steps[pid] > res.MaxSteps {
+				res.MaxSteps = steps[pid]
+			}
+			if steps[pid] > opts.StepBudget {
+				return fail(ViolationStepBound, pid, model.None)
+			}
+			act := p.Step(pid, locals[pid])
+			switch act.Kind {
+			case model.ActDecide:
+				trace = append(trace, fmt.Sprintf("P%d decides %d", pid, act.Dec))
+				if firstDec != model.None && firstDec != act.Dec {
+					return fail(ViolationAgreement, pid, act.Dec)
+				}
+				owned := false
+				for j := 0; j < n; j++ {
+					if model.Value(inputs[j]) == act.Dec && (moved[j] || j == pid) {
+						owned = true
+						break
+					}
+				}
+				if !owned {
+					return fail(ViolationValidity, pid, act.Dec)
+				}
+				if firstDec == model.None {
+					firstDec = act.Dec
+				}
+				decided[pid] = true
+				moved[pid] = true
+				res.Decisions[act.Dec] = true
+			case model.ActInvoke:
+				var resp model.Value
+				obState, resp = obj.Apply(obState, act.Op)
+				trace = append(trace, fmt.Sprintf("P%d %s -> %d", pid, act.Op, resp))
+				locals[pid] = p.Next(pid, locals[pid], resp)
+				moved[pid] = true
+			}
+			if len(trace) > 64 {
+				trace = trace[1:]
+			}
+		}
+	}
+	return res
+}

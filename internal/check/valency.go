@@ -1,0 +1,174 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"waitfree/internal/model"
+)
+
+// Valency analysis reproduces the proof machinery of the paper's
+// impossibility results (Theorems 2, 6, 11, 22): label every reachable
+// protocol configuration with the set of decision values still reachable
+// from it. A configuration is bivalent if more than one value is reachable,
+// univalent otherwise; a critical configuration is a bivalent one all of
+// whose successors are univalent. The impossibility proofs all work by
+// maneuvering a hypothetical protocol into a critical configuration and
+// deriving a contradiction; for *correct* protocols the analysis exhibits
+// exactly where the decision "really happens".
+
+// ValencyNode is one configuration in the valency graph.
+type ValencyNode struct {
+	// Key is the configuration encoding.
+	Key string
+	// Values is the sorted set of decision values reachable from here.
+	Values []model.Value
+	// Critical reports whether this node is bivalent with all successors
+	// univalent.
+	Critical bool
+	// Succs indexes successor nodes by the step that reaches them.
+	Succs map[string]string
+}
+
+// Bivalent reports whether more than one decision value is reachable.
+func (n *ValencyNode) Bivalent() bool { return len(n.Values) > 1 }
+
+// ValencyReport summarizes a valency analysis.
+type ValencyReport struct {
+	Nodes        map[string]*ValencyNode
+	InitialKey   string
+	Bivalent     int
+	Univalent    int
+	Critical     int
+	CriticalKeys []string
+}
+
+// String renders the headline numbers.
+func (r *ValencyReport) String() string {
+	init := r.Nodes[r.InitialKey]
+	return fmt.Sprintf(
+		"configs=%d bivalent=%d univalent=%d critical=%d initial-valency=%d",
+		len(r.Nodes), r.Bivalent, r.Univalent, r.Critical, len(init.Values))
+}
+
+type vnode struct {
+	cfg    *config
+	values map[model.Value]bool
+	succs  map[string]string
+}
+
+// Valency builds the full configuration graph of protocol p over obj and
+// labels every node with its reachable decision values. The protocol must
+// be correct (checked first with Consensus); the analysis then mirrors the
+// paper's proofs by reporting bivalent and critical configurations.
+func Valency(p model.Protocol, obj model.Object, inputs []model.Value) *ValencyReport {
+	n := p.Procs()
+	init := &config{
+		obj:      obj.Init(),
+		locals:   make([]string, n),
+		decided:  make([]bool, n),
+		moved:    make([]bool, n),
+		firstDec: model.None,
+		steps:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		init.locals[i] = p.Init(i, inputs[i])
+	}
+
+	nodes := make(map[string]*vnode)
+	var build func(c *config) *vnode
+	build = func(c *config) *vnode {
+		k := c.key()
+		if nd, ok := nodes[k]; ok {
+			return nd
+		}
+		nd := &vnode{cfg: c, values: make(map[model.Value]bool), succs: make(map[string]string)}
+		nodes[k] = nd
+		for pid := 0; pid < n; pid++ {
+			if c.decided[pid] {
+				continue
+			}
+			act := p.Step(pid, c.locals[pid])
+			next := c.clone()
+			next.moved[pid] = true
+			var label string
+			switch act.Kind {
+			case model.ActDecide:
+				next.decided[pid] = true
+				if next.firstDec == model.None {
+					next.firstDec = act.Dec
+				}
+				label = fmt.Sprintf("P%d decides %d", pid, act.Dec)
+			case model.ActInvoke:
+				var resp model.Value
+				next.obj, resp = obj.Apply(c.obj, act.Op)
+				next.locals[pid] = p.Next(pid, c.locals[pid], resp)
+				label = fmt.Sprintf("P%d %s -> %d", pid, act.Op, resp)
+			}
+			child := build(next)
+			nd.succs[label] = next.key()
+			for v := range child.values {
+				nd.values[v] = true
+			}
+		}
+		if c.firstDec != model.None {
+			nd.values[c.firstDec] = true
+		}
+		return nd
+	}
+	build(init)
+
+	rep := &ValencyReport{Nodes: make(map[string]*ValencyNode, len(nodes)), InitialKey: init.key()}
+	for k, nd := range nodes {
+		vals := make([]model.Value, 0, len(nd.values))
+		for v := range nd.values {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		out := &ValencyNode{Key: k, Values: vals, Succs: nd.succs}
+		rep.Nodes[k] = out
+	}
+	for k, out := range rep.Nodes {
+		if !out.Bivalent() {
+			rep.Univalent++
+			continue
+		}
+		rep.Bivalent++
+		critical := len(out.Succs) > 0
+		for _, sk := range out.Succs {
+			if rep.Nodes[sk].Bivalent() {
+				critical = false
+				break
+			}
+		}
+		out.Critical = critical
+		if critical {
+			rep.Critical++
+			rep.CriticalKeys = append(rep.CriticalKeys, k)
+		}
+	}
+	sort.Strings(rep.CriticalKeys)
+	return rep
+}
+
+// DescribeCritical renders one critical configuration and the valency of
+// each of its successor steps, in the style of the paper's case analyses.
+func (r *ValencyReport) DescribeCritical(key string) string {
+	nd, ok := r.Nodes[key]
+	if !ok || !nd.Critical {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical configuration %s\n", key)
+	labels := make([]string, 0, len(nd.Succs))
+	for l := range nd.Succs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		succ := r.Nodes[nd.Succs[l]]
+		fmt.Fprintf(&b, "  %-30s -> %d-valent %v\n", l, len(succ.Values), succ.Values)
+	}
+	return b.String()
+}

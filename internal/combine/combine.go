@@ -1,0 +1,150 @@
+// Package combine simulates a combining network, the NYU Ultracomputer /
+// IBM RP3 architectural approach the paper discusses (Sections 1 and 5):
+// fetch-and-add requests traveling through a binary tree of switches are
+// combined pairwise, so the memory cell at the root sees one operation per
+// crossing wave no matter how many processors issue requests — this is how
+// fetch-and-add gets a wait-free hardware implementation [Kruskal, Rudolph
+// & Snir]. The paper's point (Theorem 6/Corollary 8) is that even this
+// machinery cannot make fetch-and-add universal: combining changes the
+// constant factors, not the consensus number.
+//
+// The simulation is a synchronous wave model: requests that arrive within
+// one wave are combined along their tree paths, the root applies the
+// combined delta once, and responses are decombined on the way back as
+// prefix sums — exactly the decomposition a hardware combining switch
+// stores in its wait buffer.
+package combine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// request is one in-flight fetch-and-add.
+type request struct {
+	pid   int
+	delta int64
+	resp  chan int64
+}
+
+// Network is a software-simulated combining network with n input ports
+// (one per process) feeding one shared cell.
+type Network struct {
+	n      int
+	in     chan request
+	stop   chan struct{}
+	done   chan struct{}
+	mu     sync.Mutex
+	cell   int64
+	waves  int64
+	maxLen int
+}
+
+// New starts a combining network for n processes over a cell initialized
+// to init. Close must be called to stop the switch fabric.
+func New(n int, init int64) *Network {
+	net := &Network{
+		n:    n,
+		in:   make(chan request, n),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		cell: init,
+	}
+	go net.fabric()
+	return net
+}
+
+// Close shuts down the switch fabric.
+func (net *Network) Close() {
+	close(net.stop)
+	<-net.done
+}
+
+// FetchAndAdd submits a request from process pid and returns the cell's
+// value before the (combined) addition, exactly as a hardware
+// fetch-and-add would.
+func (net *Network) FetchAndAdd(pid int, delta int64) int64 {
+	resp := make(chan int64, 1)
+	net.in <- request{pid: pid, delta: delta, resp: resp}
+	return <-resp
+}
+
+// Read returns the cell's current value (a zero-delta fetch-and-add).
+func (net *Network) Read(pid int) int64 { return net.FetchAndAdd(pid, 0) }
+
+// Stats reports the number of root-memory waves and the largest combined
+// wave, the quantities the Ultracomputer design cares about: root traffic
+// is one operation per wave regardless of fan-in.
+func (net *Network) Stats() (waves int64, maxCombined int) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.waves, net.maxLen
+}
+
+// fabric runs the switch tree: each iteration gathers the requests of one
+// wave, combines them along the tree, applies the total at the root, and
+// decombines responses as prefix sums.
+func (net *Network) fabric() {
+	defer close(net.done)
+	for {
+		// Block for the wave's first request (or shutdown).
+		var wave []request
+		select {
+		case <-net.stop:
+			return
+		case r := <-net.in:
+			wave = append(wave, r)
+		}
+		// Gather everything else that reached the leaves this wave; the
+		// tree can combine at most one request per input port per wave.
+		// The gather loop yields a few times so concurrently issued
+		// requests can reach their leaves — the analogue of the wave
+		// taking one switch-crossing time to traverse a level.
+		seen := map[int]bool{wave[0].pid: true}
+		patience := 3
+	gather:
+		for len(wave) < net.n {
+			select {
+			case r := <-net.in:
+				if seen[r.pid] {
+					// A second request from the same port belongs to the
+					// next wave; hardware would queue it at the leaf. Put
+					// it back and close the wave.
+					net.in <- r
+					break gather
+				}
+				seen[r.pid] = true
+				wave = append(wave, r)
+			default:
+				if patience == 0 {
+					break gather
+				}
+				patience--
+				runtime.Gosched()
+			}
+		}
+
+		// Combine: the wave's requests meet pairwise at switches; the sum
+		// of deltas reaches the root once. Decombine: the i-th request in
+		// leaf order receives base + sum of deltas of requests before it —
+		// the decomposition each switch's wait buffer reproduces.
+		net.mu.Lock()
+		base := net.cell
+		var total int64
+		for _, r := range wave {
+			total += r.delta
+		}
+		net.cell = base + total
+		net.waves++
+		if len(wave) > net.maxLen {
+			net.maxLen = len(wave)
+		}
+		net.mu.Unlock()
+
+		prefix := base
+		for _, r := range wave {
+			r.resp <- prefix
+			prefix += r.delta
+		}
+	}
+}

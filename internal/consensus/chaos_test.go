@@ -1,0 +1,168 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// chaosCrash is the panic value used to simulate a crash between primitive
+// steps of a protocol.
+type chaosCrash struct{}
+
+// chaosStress runs consensus trials with a memory hook that (a) yields the
+// scheduler at random access points to widen interleavings and (b) crashes
+// one chosen process partway through its step sequence. Survivors must
+// still agree on a live participant's input — the protocols' memory
+// operations are atomic primitives, so a crash between them must be
+// harmless (wait-freedom under halting failures, Section 1).
+func chaosStress(t *testing.T, n int, mk func() interface {
+	Object
+	hookable
+}, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		obj := mk()
+		victim := rng.Intn(n)
+		crashAfter := 1 + rng.Intn(6)
+		var accesses [16]int
+		var mu sync.Mutex
+		obj.hook(func(pid int, op string) {
+			mu.Lock()
+			accesses[pid]++
+			hit := pid == victim && accesses[pid] == crashAfter
+			flip := rng.Intn(2) == 0 // rng shared across goroutines: keep under mu
+			mu.Unlock()
+			if hit {
+				panic(chaosCrash{})
+			}
+			if flip {
+				runtime.Gosched()
+			}
+		})
+
+		inputs := make([]int64, n)
+		results := make([]int64, n)
+		crashed := make([]bool, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			inputs[p] = int64(100*trial + p)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if e := recover(); e != nil {
+						if _, ok := e.(chaosCrash); !ok {
+							panic(e)
+						}
+						crashed[p] = true
+					}
+				}()
+				results[p] = obj.Decide(p, inputs[p])
+			}()
+		}
+		wg.Wait()
+
+		first := int64(-1)
+		for p := 0; p < n; p++ {
+			if crashed[p] {
+				continue
+			}
+			if first == -1 {
+				first = results[p]
+			} else if results[p] != first {
+				t.Fatalf("trial %d (victim P%d after %d accesses): disagreement %d vs %d",
+					trial, victim, crashAfter, first, results[p])
+			}
+		}
+		if first != -1 {
+			valid := false
+			for p := 0; p < n; p++ {
+				if inputs[p] == first {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("trial %d: decided %d, not any participant's input", trial, first)
+			}
+		}
+	}
+}
+
+// hookable is satisfied by the memory-based protocols via small adapters.
+type hookable interface {
+	hook(func(pid int, op string))
+}
+
+type hookedMove struct{ *Move }
+
+func (h hookedMove) hook(f func(int, string)) { h.mem.SetHook(f) }
+
+type hookedMemSwap struct{ *MemSwap }
+
+func (h hookedMemSwap) hook(f func(int, string)) { h.mem.SetHook(f) }
+
+type hookedAssign struct{ *Assign }
+
+func (h hookedAssign) hook(f func(int, string)) { h.mem.SetHook(f) }
+
+type hookedAssign2 struct{ *Assign2Phase }
+
+func (h hookedAssign2) hook(f func(int, string)) { h.mem.SetHook(f) }
+
+func TestMoveChaos(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			chaosStress(t, n, func() interface {
+				Object
+				hookable
+			} {
+				return hookedMove{NewMove(n)}
+			}, 300)
+		})
+	}
+}
+
+func TestMemSwapChaos(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			chaosStress(t, n, func() interface {
+				Object
+				hookable
+			} {
+				return hookedMemSwap{NewMemSwap(n)}
+			}, 300)
+		})
+	}
+}
+
+func TestAssignChaos(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			chaosStress(t, n, func() interface {
+				Object
+				hookable
+			} {
+				return hookedAssign{NewAssign(n)}
+			}, 300)
+		})
+	}
+}
+
+func TestAssign2PhaseChaos(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		n := 2*m - 2
+		t.Run(fmt.Sprintf("m=%d,n=%d", m, n), func(t *testing.T) {
+			chaosStress(t, n, func() interface {
+				Object
+				hookable
+			} {
+				return hookedAssign2{NewAssign2Phase(m)}
+			}, 300)
+		})
+	}
+}

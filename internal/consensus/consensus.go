@@ -1,0 +1,197 @@
+// Package consensus provides native (goroutine-safe) wait-free consensus
+// protocols, one per positive theorem of Herlihy's PODC 1988 paper. Each
+// protocol here has an exhaustively model-checked twin in
+// internal/protocols; the native forms run on real shared memory
+// (internal/registers, internal/queue) and are what the universal
+// construction (internal/core) composes.
+//
+// A consensus object is one-shot: each of the n processes calls Decide at
+// most once, with its own process id and its input value; every call
+// returns the same agreed value, which is the input of some process that
+// participated. Decide is wait-free: it completes in a bounded number of
+// steps regardless of the other processes' speeds or failures.
+package consensus
+
+import (
+	"fmt"
+
+	"waitfree/internal/queue"
+	"waitfree/internal/registers"
+)
+
+// Object is a one-shot n-process consensus object.
+type Object interface {
+	// Decide submits pid's input and returns the agreed value. pid must be
+	// in [0, n); each pid may call Decide at most once.
+	Decide(pid int, input int64) int64
+}
+
+// Factory creates fresh consensus objects; the universal construction
+// consumes one object per round.
+type Factory func() Object
+
+// unset marks empty announce registers. Inputs must not equal unset.
+const unset int64 = -1 << 62
+
+// announce is the paper's election convention: processes publish inputs in
+// per-process atomic registers, protocols elect a winning pid, and everyone
+// returns the winner's announced input.
+type announce struct {
+	regs []registers.Atomic
+}
+
+func newAnnounce(n int) *announce {
+	a := &announce{regs: make([]registers.Atomic, n)}
+	for i := range a.regs {
+		a.regs[i].Store(unset)
+	}
+	return a
+}
+
+func (a *announce) publish(pid int, input int64) { a.regs[pid].Store(input) }
+
+func (a *announce) read(pid int) int64 {
+	v := a.regs[pid].Load()
+	if v == unset {
+		panic(fmt.Sprintf("consensus: winner P%d has no announced input", pid))
+	}
+	return v
+}
+
+// CAS is the Theorem 7 protocol: n-process consensus from one
+// compare-and-swap register, for arbitrary n.
+type CAS struct {
+	ann *announce
+	r   *registers.RMW
+}
+
+// NewCAS builds an n-process compare-and-swap consensus object.
+func NewCAS(n int) *CAS {
+	return &CAS{ann: newAnnounce(n), r: registers.NewRMW(-1)}
+}
+
+// Decide implements Object.
+func (c *CAS) Decide(pid int, input int64) int64 {
+	c.ann.publish(pid, input)
+	old := c.r.CompareAndSwap(-1, int64(pid))
+	if old == -1 {
+		return input // my id was installed: I win
+	}
+	return c.ann.read(int(old))
+}
+
+// RMW2 is the Theorem 4 protocol: two-process consensus from a register
+// with any non-trivial read-modify-write operation f. The register starts
+// at a value v with f(v) != v; whoever applies f first wins.
+type RMW2 struct {
+	ann  *announce
+	r    *registers.RMW
+	init int64
+	f    func(int64) int64
+}
+
+// NewRMW2 builds a two-process consensus object over f, which must satisfy
+// f(init) != init.
+func NewRMW2(f func(int64) int64, init int64) *RMW2 {
+	if f(init) == init {
+		panic("consensus: NewRMW2 requires a non-trivial f at init")
+	}
+	return &RMW2{ann: newAnnounce(2), r: registers.NewRMW(init), init: init, f: f}
+}
+
+// Decide implements Object.
+func (p *RMW2) Decide(pid int, input int64) int64 {
+	if pid < 0 || pid > 1 {
+		panic("consensus: RMW2 is a two-process protocol")
+	}
+	p.ann.publish(pid, input)
+	if p.r.Apply(p.f) == p.init {
+		return input
+	}
+	return p.ann.read(1 - pid)
+}
+
+// rmw2Direct is RMW2 specialized to a single hardware instruction, so the
+// Theorem 4 instances exercise the actual primitives (one atomic
+// instruction per Decide) rather than the generic CAS-retry Apply.
+type rmw2Direct struct {
+	ann  *announce
+	rmw  func() int64 // performs the instruction, returns the old value
+	init int64
+}
+
+// Decide implements Object.
+func (p *rmw2Direct) Decide(pid int, input int64) int64 {
+	if pid < 0 || pid > 1 {
+		panic("consensus: RMW2 is a two-process protocol")
+	}
+	p.ann.publish(pid, input)
+	if p.rmw() == p.init {
+		return input
+	}
+	return p.ann.read(1 - pid)
+}
+
+// NewTAS2 builds the test-and-set instance of Theorem 4.
+func NewTAS2() Object {
+	r := registers.NewRMW(0)
+	return &rmw2Direct{ann: newAnnounce(2), rmw: r.TestAndSet, init: 0}
+}
+
+// NewSwap2 builds the swap instance of Theorem 4 (swap in 1 over initial
+// 0), using the processor swap instruction directly.
+func NewSwap2() Object {
+	r := registers.NewRMW(0)
+	return &rmw2Direct{ann: newAnnounce(2), rmw: func() int64 { return r.Swap(1) }, init: 0}
+}
+
+// NewFAA2 builds the fetch-and-add instance of Theorem 4, using the add
+// instruction directly.
+func NewFAA2() Object {
+	r := registers.NewRMW(0)
+	return &rmw2Direct{ann: newAnnounce(2), rmw: func() int64 { return r.FetchAndAdd(1) }, init: 0}
+}
+
+// Queue2 is the Theorem 9 protocol: two-process consensus from a FIFO queue
+// initialized with two marker items; dequeuing the first marker wins.
+type Queue2 struct {
+	ann *announce
+	q   *queue.FIFO
+}
+
+// NewQueue2 builds a two-process FIFO-queue consensus object.
+func NewQueue2() *Queue2 {
+	return &Queue2{ann: newAnnounce(2), q: queue.NewFIFO(0, 1)}
+}
+
+// Decide implements Object.
+func (p *Queue2) Decide(pid int, input int64) int64 {
+	if pid < 0 || pid > 1 {
+		panic("consensus: Queue2 is a two-process protocol")
+	}
+	p.ann.publish(pid, input)
+	if p.q.Deq() == 0 {
+		return input
+	}
+	return p.ann.read(1 - pid)
+}
+
+// AugQueue is the Theorem 12 protocol: n-process consensus from the
+// augmented queue. Everyone enqueues its id; peek names the winner.
+type AugQueue struct {
+	ann *announce
+	q   *queue.Augmented
+}
+
+// NewAugQueue builds an n-process augmented-queue consensus object.
+func NewAugQueue(n int) *AugQueue {
+	return &AugQueue{ann: newAnnounce(n), q: queue.NewAugmented()}
+}
+
+// Decide implements Object.
+func (p *AugQueue) Decide(pid int, input int64) int64 {
+	p.ann.publish(pid, input)
+	p.q.Enq(int64(pid))
+	winner := p.q.Peek()
+	return p.ann.read(int(winner))
+}

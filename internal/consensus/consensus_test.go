@@ -1,0 +1,160 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// stress runs trials of n-process consensus on fresh objects from mk,
+// with a random subset of processes participating each trial (a
+// non-participant is exactly a crashed process: wait-freedom means the
+// others must still decide). It checks agreement and validity.
+func stress(t *testing.T, n int, mk func() Object, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		obj := mk()
+		// Pick a non-empty participant set.
+		var parts []int
+		for p := 0; p < n; p++ {
+			if rng.Intn(4) > 0 {
+				parts = append(parts, p)
+			}
+		}
+		if len(parts) == 0 {
+			parts = append(parts, rng.Intn(n))
+		}
+		inputs := make([]int64, n)
+		for p := range inputs {
+			inputs[p] = int64(1000*trial + p)
+		}
+		results := make([]int64, n)
+		var wg sync.WaitGroup
+		for _, p := range parts {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[p] = obj.Decide(p, inputs[p])
+			}()
+		}
+		wg.Wait()
+		// Agreement + validity.
+		agreed := results[parts[0]]
+		valid := false
+		for _, p := range parts {
+			if results[p] != agreed {
+				t.Fatalf("trial %d: disagreement: P%d=%d vs P%d=%d (participants %v)",
+					trial, parts[0], agreed, p, results[p], parts)
+			}
+			if inputs[p] == agreed {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("trial %d: decided %d, not any participant's input (participants %v)",
+				trial, agreed, parts)
+		}
+	}
+}
+
+func TestCASConsensus(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewCAS(n) }, 200)
+		})
+	}
+}
+
+func TestRMW2Consensus(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func() Object
+	}{
+		{name: "test-and-set", mk: func() Object { return NewTAS2() }},
+		{name: "swap", mk: func() Object { return NewSwap2() }},
+		{name: "fetch-and-add", mk: func() Object { return NewFAA2() }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			stress(t, 2, tt.mk, 300)
+		})
+	}
+}
+
+func TestQueue2Consensus(t *testing.T) {
+	stress(t, 2, func() Object { return NewQueue2() }, 300)
+}
+
+func TestAugQueueConsensus(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewAugQueue(n) }, 200)
+		})
+	}
+}
+
+func TestMoveConsensus(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewMove(n) }, 200)
+		})
+	}
+}
+
+func TestMemSwapConsensus(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewMemSwap(n) }, 200)
+		})
+	}
+}
+
+func TestAssignConsensus(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewAssign(n) }, 200)
+		})
+	}
+}
+
+func TestAssign2PhaseConsensus(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 9} {
+		n := 2*m - 2
+		t.Run(fmt.Sprintf("m=%d,n=%d", m, n), func(t *testing.T) {
+			stress(t, n, func() Object { return NewAssign2Phase(m) }, 200)
+		})
+	}
+}
+
+// TestSequentialDecide checks the trivial single-participant case for every
+// protocol: a lone process must decide its own input (wait-freedom even when
+// everyone else has crashed before starting).
+func TestSequentialDecide(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		mk   func() Object
+	}{
+		{name: "cas", n: 4, mk: func() Object { return NewCAS(4) }},
+		{name: "tas2", n: 2, mk: func() Object { return NewTAS2() }},
+		{name: "queue2", n: 2, mk: func() Object { return NewQueue2() }},
+		{name: "augqueue", n: 4, mk: func() Object { return NewAugQueue(4) }},
+		{name: "move", n: 4, mk: func() Object { return NewMove(4) }},
+		{name: "memswap", n: 4, mk: func() Object { return NewMemSwap(4) }},
+		{name: "assign", n: 4, mk: func() Object { return NewAssign(4) }},
+		{name: "assign2phase", n: 4, mk: func() Object { return NewAssign2Phase(3) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for p := 0; p < tt.n; p++ {
+				obj := tt.mk()
+				if got := obj.Decide(p, int64(100+p)); got != int64(100+p) {
+					t.Errorf("lone P%d decided %d, want its own input %d", p, got, 100+p)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+package consensus
+
+import (
+	"waitfree/internal/registers"
+)
+
+// Move is the Theorem 15 protocol: n-process consensus from atomic
+// memory-to-memory move, iterating the paper's two-process move protocol
+// round by round. See internal/protocols.Move for the round structure; this
+// is the same algorithm over native memory.
+type Move struct {
+	ann *announce
+	n   int
+	mem *registers.Memory // rounds: r[j,1] at 2(j-1), r[j,2] at 2(j-1)+1
+}
+
+// NewMove builds an n-process move consensus object.
+func NewMove(n int) *Move {
+	init := make([]int64, 2*n)
+	for j := 1; j <= n; j++ {
+		init[2*(j-1)] = int64(j)       // r[j,1]
+		init[2*(j-1)+1] = int64(j - 1) // r[j,2]
+	}
+	return &Move{ann: newAnnounce(n), n: n, mem: registers.NewMemory(init)}
+}
+
+func (p *Move) r1(j int) int { return 2 * (j - 1) }
+func (p *Move) r2(j int) int { return 2*(j-1) + 1 }
+
+// Decide implements Object.
+func (p *Move) Decide(pid int, input int64) int64 {
+	p.ann.publish(pid, input)
+	i := pid + 1 // the paper's rounds are 1-based
+	// Play my round: capture r[i,1] into r[i,2].
+	p.mem.MovePid(pid, p.r1(i), p.r2(i))
+	// Spoil every higher round, in ascending order.
+	for j := i + 1; j <= p.n; j++ {
+		p.mem.WritePid(pid, p.r1(j), int64(j-1))
+	}
+	// Scan descending for the highest round won by its owner.
+	for j := p.n; j >= 1; j-- {
+		if p.mem.ReadPid(pid, p.r2(j)) == int64(j) {
+			return p.ann.read(j - 1)
+		}
+	}
+	panic("consensus: Move scan found no winner; protocol invariant broken")
+}
+
+// MemSwap is the Theorem 16 protocol: n-process consensus from atomic
+// memory-to-memory swap. A token register r starts at 1 and per-process
+// cells p[i] start at 0; the first process to swap captures the token.
+type MemSwap struct {
+	ann *announce
+	n   int
+	mem *registers.Memory // cells: p[0..n-1], then r at index n
+}
+
+// NewMemSwap builds an n-process memory-to-memory swap consensus object.
+func NewMemSwap(n int) *MemSwap {
+	init := make([]int64, n+1)
+	init[n] = 1
+	return &MemSwap{ann: newAnnounce(n), n: n, mem: registers.NewMemory(init)}
+}
+
+// Decide implements Object.
+func (p *MemSwap) Decide(pid int, input int64) int64 {
+	p.ann.publish(pid, input)
+	p.mem.SwapCellsPid(pid, pid, p.n)
+	for k := 0; k < p.n; k++ {
+		if p.mem.ReadPid(pid, k) == 1 {
+			return p.ann.read(k)
+		}
+	}
+	panic("consensus: MemSwap scan found no token; protocol invariant broken")
+}
+
+// Assign is the Theorem 19 protocol: n-process consensus from atomic
+// n-register assignment. Each process atomically assigns its id to one
+// private register and the n-1 registers it shares pairwise with the
+// others; pairwise registers then name the later assigner of each pair, and
+// the unique process that loses no comparison within the observed-assigned
+// set is the globally earliest. See internal/protocols.Assign for the
+// argument.
+type Assign struct {
+	ann  *announce
+	n    int
+	mem  *registers.Memory
+	sets [][]int
+}
+
+// NewAssign builds an n-process assignment consensus object.
+func NewAssign(n int) *Assign {
+	pairs := n * (n - 1) / 2
+	init := make([]int64, n+pairs)
+	for i := range init {
+		init[i] = -1
+	}
+	sets := make([][]int, n)
+	for i := 0; i < n; i++ {
+		set := []int{i}
+		for j := 0; j < n; j++ {
+			if j != i {
+				set = append(set, n+pairCell(n, i, j))
+			}
+		}
+		sets[i] = set
+	}
+	return &Assign{ann: newAnnounce(n), n: n, mem: registers.NewMemory(init), sets: sets}
+}
+
+// pairCell maps an unordered pid pair to a dense index.
+func pairCell(n, x, y int) int {
+	if x > y {
+		x, y = y, x
+	}
+	return x*(2*n-x-1)/2 + (y - x - 1)
+}
+
+// Decide implements Object.
+func (p *Assign) Decide(pid int, input int64) int64 {
+	p.ann.publish(pid, input)
+	p.mem.AssignPid(pid, p.sets[pid], int64(pid))
+	// Fix the set A of processes seen assigned; all of them assigned before
+	// these reads, so every pairwise register within A is final.
+	inA := make([]bool, p.n)
+	for j := 0; j < p.n; j++ {
+		inA[j] = p.mem.ReadPid(pid, j) != -1
+	}
+	for a := 0; a < p.n; a++ {
+		if !inA[a] {
+			continue
+		}
+		first := true
+		for j := 0; j < p.n && first; j++ {
+			if j == a || !inA[j] {
+				continue
+			}
+			if p.mem.ReadPid(pid, p.n+pairCell(p.n, a, j)) == int64(a) {
+				first = false // a wrote the pair register last: j was earlier
+			}
+		}
+		if first {
+			return p.ann.read(a)
+		}
+	}
+	panic("consensus: Assign found no earliest assigner; protocol invariant broken")
+}
+
+// Assign2Phase is the Theorems 20/21 protocol: (2m-2)-process consensus
+// from m-register assignment, via two groups of m-1 and a cross-group
+// source election. See internal/protocols.Assign2Phase for the argument.
+type Assign2Phase struct {
+	ann *announce
+	m   int // assignment width
+	g   int // group size m-1
+	n   int // processes 2m-2
+
+	mem   *registers.Memory
+	sets1 [][]int
+	sets2 [][]int
+
+	offPriv1, offPair1, offGres, offPriv2, offPair2 int
+}
+
+// NewAssign2Phase builds a (2m-2)-process consensus object from m-register
+// assignment.
+func NewAssign2Phase(m int) *Assign2Phase {
+	if m < 2 {
+		panic("consensus: Assign2Phase requires m >= 2")
+	}
+	g := m - 1
+	n := 2 * g
+	p := &Assign2Phase{ann: newAnnounce(n), m: m, g: g, n: n}
+	p.offPriv1 = 0
+	p.offPair1 = n
+	p.offGres = p.offPair1 + g*(g-1)
+	p.offPriv2 = p.offGres + 2
+	p.offPair2 = p.offPriv2 + n
+	total := p.offPair2 + g*g
+	init := make([]int64, total)
+	for i := range init {
+		init[i] = -1
+	}
+	p.mem = registers.NewMemory(init)
+	p.sets1 = make([][]int, n)
+	p.sets2 = make([][]int, n)
+	for i := 0; i < n; i++ {
+		s1 := []int{p.offPriv1 + i}
+		base := p.group(i) * g
+		for j := base; j < base+g; j++ {
+			if j != i {
+				s1 = append(s1, p.pair1(i, j))
+			}
+		}
+		p.sets1[i] = s1
+		s2 := []int{p.offPriv2 + i}
+		otherBase := (1 - p.group(i)) * g
+		for j := otherBase; j < otherBase+g; j++ {
+			s2 = append(s2, p.pair2(i, j))
+		}
+		p.sets2[i] = s2
+	}
+	return p
+}
+
+// Procs returns the number of processes the object supports (2m-2).
+func (p *Assign2Phase) Procs() int { return p.n }
+
+func (p *Assign2Phase) group(pid int) int {
+	if pid < p.g {
+		return 0
+	}
+	return 1
+}
+
+func (p *Assign2Phase) pair1(x, y int) int {
+	gi := p.group(x)
+	base := gi * p.g
+	return p.offPair1 + gi*(p.g*(p.g-1)/2) + pairCell(p.g, x-base, y-base)
+}
+
+func (p *Assign2Phase) pair2(x, y int) int {
+	if p.group(x) == 1 {
+		x, y = y, x
+	}
+	return p.offPair2 + x*p.g + (y - p.g)
+}
+
+// Decide implements Object.
+func (p *Assign2Phase) Decide(pid int, input int64) int64 {
+	p.ann.publish(pid, input)
+	gi := p.group(pid)
+	base := gi * p.g
+
+	// Phase 1: Theorem 19 election within my group.
+	p.mem.AssignPid(pid, p.sets1[pid], int64(pid))
+	inA := make([]bool, p.n)
+	for j := base; j < base+p.g; j++ {
+		inA[j] = p.mem.ReadPid(pid, p.offPriv1+j) != -1
+	}
+	groupVal := int64(-1)
+	for a := base; a < base+p.g; a++ {
+		if !inA[a] {
+			continue
+		}
+		first := true
+		for j := base; j < base+p.g && first; j++ {
+			if j == a || !inA[j] {
+				continue
+			}
+			if p.mem.ReadPid(pid, p.pair1(a, j)) == int64(a) {
+				first = false
+			}
+		}
+		if first {
+			groupVal = p.ann.read(a)
+			break
+		}
+	}
+	if groupVal == -1 {
+		panic("consensus: Assign2Phase phase 1 found no group winner")
+	}
+	p.mem.WritePid(pid, p.offGres+gi, groupVal)
+
+	// Phase 2: cross-group source election.
+	p.mem.AssignPid(pid, p.sets2[pid], int64(pid))
+	inA2 := make([]bool, p.n)
+	for j := 0; j < p.n; j++ {
+		inA2[j] = p.mem.ReadPid(pid, p.offPriv2+j) != -1
+	}
+	for a := 0; a < p.n; a++ {
+		if !inA2[a] {
+			continue
+		}
+		source := true
+		for j := 0; j < p.n && source; j++ {
+			if !inA2[j] || p.group(j) == p.group(a) {
+				continue
+			}
+			if p.mem.ReadPid(pid, p.pair2(a, j)) == int64(a) {
+				source = false // a assigned after j: j's group may precede
+			}
+		}
+		if source {
+			return p.mem.ReadPid(pid, p.offGres+p.group(a))
+		}
+	}
+	panic("consensus: Assign2Phase phase 2 found no source")
+}

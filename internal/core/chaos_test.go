@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/linearize"
+	"waitfree/internal/msgchan"
+	"waitfree/internal/seqspec"
+)
+
+// mixedFactory rotates through different consensus primitives per round —
+// Theorem 26 says any consensus object is universal, so rounds may even mix
+// object types freely.
+func mixedFactory(n int) consensus.Factory {
+	var k atomic.Int64
+	return func() consensus.Object {
+		switch k.Add(1) % 4 {
+		case 0:
+			return consensus.NewCAS(n)
+		case 1:
+			return consensus.NewAugQueue(n)
+		case 2:
+			return consensus.NewMemSwap(n)
+		default:
+			return msgchan.NewConsensus(n)
+		}
+	}
+}
+
+// TestMixedConsensusRounds: the Figure 4-5 construction with a different
+// consensus primitive in every round stays linearizable.
+func TestMixedConsensusRounds(t *testing.T) {
+	const n = 4
+	for trial := 0; trial < 10; trial++ {
+		fac := NewConsFAC(n, mixedFactory(n))
+		u := NewUniversal(seqspec.Queue{}, fac, n)
+		var rec linearize.Recorder
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(trial*7 + p)))
+				for i := 0; i < 6; i++ {
+					var op seqspec.Op
+					if rng.Intn(2) == 0 {
+						op = seqspec.Op{Kind: "enq", Args: []int64{int64(p*100 + i)}}
+					} else {
+						op = seqspec.Op{Kind: "deq"}
+					}
+					ts := rec.Invoke()
+					resp := u.Invoke(p, op)
+					rec.Complete(p, op, resp, ts)
+				}
+			}()
+		}
+		wg.Wait()
+		if res := linearize.Check(seqspec.Queue{}, rec.History()); !res.OK {
+			t.Fatalf("trial %d: mixed-round history not linearizable", trial)
+		}
+	}
+}
+
+// yieldFAC wraps a fetch-and-cons with scheduling points, shaking out more
+// interleavings on few cores (the native analogue of the model world's
+// adversary).
+type yieldFAC struct {
+	inner FetchAndCons
+	rng   func() bool
+	mu    sync.Mutex
+}
+
+func (y *yieldFAC) FetchAndCons(pid int, e *Entry) *Node {
+	y.mu.Lock()
+	flip := y.rng()
+	y.mu.Unlock()
+	if flip {
+		runtime.Gosched()
+	}
+	out := y.inner.FetchAndCons(pid, e)
+	runtime.Gosched()
+	return out
+}
+
+// TestChaosScheduling: universal objects stay linearizable with yields
+// injected around the linearization point, across object types.
+func TestChaosScheduling(t *testing.T) {
+	const n = 4
+	objects := []seqspec.Object{seqspec.Counter{}, seqspec.Stack{}, seqspec.KV{}}
+	for _, obj := range objects {
+		obj := obj
+		t.Run(obj.Name(), func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				var rmu sync.Mutex
+				fac := &yieldFAC{
+					inner: NewSwapFAC(),
+					rng: func() bool {
+						rmu.Lock()
+						defer rmu.Unlock()
+						return rng.Intn(2) == 0
+					},
+				}
+				u := NewUniversal(obj, fac, n)
+				var rec linearize.Recorder
+				var wg sync.WaitGroup
+				for p := 0; p < n; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						prng := rand.New(rand.NewSource(int64(trial*100 + p)))
+						for i := 0; i < 5; i++ {
+							op := chaosOp(obj.Name(), prng)
+							ts := rec.Invoke()
+							resp := u.Invoke(p, op)
+							rec.Complete(p, op, resp, ts)
+						}
+					}()
+				}
+				wg.Wait()
+				if res := linearize.Check(obj, rec.History()); !res.OK {
+					t.Fatalf("trial %d: chaos history not linearizable", trial)
+				}
+			}
+		})
+	}
+}
+
+func chaosOp(object string, rng *rand.Rand) seqspec.Op {
+	switch object {
+	case "counter":
+		return seqspec.Op{Kind: []string{"inc", "get", "add"}[rng.Intn(3)], Args: []int64{int64(rng.Intn(5))}}
+	case "stack":
+		if rng.Intn(2) == 0 {
+			return seqspec.Op{Kind: "push", Args: []int64{int64(rng.Intn(50))}}
+		}
+		return seqspec.Op{Kind: "pop"}
+	case "kv":
+		return seqspec.Op{
+			Kind: []string{"put", "get", "del"}[rng.Intn(3)],
+			Args: []int64{int64(rng.Intn(3)), int64(rng.Intn(10))},
+		}
+	}
+	panic("unknown object " + object)
+}
+
+// TestSequentialHandlesConcurrentPids: distinct pids may interleave while
+// each stays internally sequential; a pid driving several objects is also
+// fine. This guards the per-pid seqs bookkeeping.
+func TestSequentialHandlesConcurrentPids(t *testing.T) {
+	const n = 3
+	u1 := NewUniversal(seqspec.Counter{}, NewSwapFAC(), n)
+	u2 := NewUniversal(seqspec.Counter{}, NewSwapFAC(), n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				u1.Invoke(p, seqspec.Op{Kind: "inc"})
+				u2.Invoke(p, seqspec.Op{Kind: "inc"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := u1.Invoke(0, seqspec.Op{Kind: "get"}); got != n*100 {
+		t.Errorf("u1 count = %d", got)
+	}
+	if got := u2.Invoke(0, seqspec.Op{Kind: "get"}); got != n*100 {
+		t.Errorf("u2 count = %d", got)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"waitfree/internal/consensus"
+)
+
+// ConsFAC is the Figure 4-5 fetch-and-cons: a wait-free implementation from
+// an unbounded array of n-process consensus objects, establishing that any
+// object that solves n-process consensus is universal (Theorem 26).
+//
+// Each process keeps three single-writer atomic registers: announce (its
+// latest operation entry), round (the latest consensus round it executed)
+// and prefer (its preference list after that round). A fetch-and-cons
+// announces its entry, builds a goal of all announced entries, catches up
+// with the highest observed round, then runs at most n further consensus
+// rounds. In each round it proposes the previous winner's preference
+// extended with its unmet goal entries, joins the round's consensus to
+// elect a winner (processes elect by id, per the paper's convention), and
+// adopts the winner's preference. Winning a round fixes the caller's entry
+// in the list; after n losses the entry is guaranteed present anyway,
+// because some process won twice in between and its second goal included
+// this process's announcement (Lemma 24's argument).
+type ConsFAC struct {
+	n        int
+	announce []atomic.Pointer[Entry]
+	round    []atomic.Int64
+	prefer   []atomic.Pointer[Node]
+	rounds   *roundArray
+
+	// lastWinner[p] is the paper's persistent per-process local variable
+	// "winner": the winner of the last round p participated in (-1 before
+	// any). Only process p accesses entry p.
+	lastWinner []int
+
+	// decisions counts consensus rounds joined, for the Corollary 27
+	// experiments (at most n+1 per operation).
+	decisions atomic.Int64
+	ops       atomic.Int64
+}
+
+// NewConsFAC builds a fetch-and-cons for n processes from a factory of
+// fresh n-process consensus objects (one per round).
+func NewConsFAC(n int, factory consensus.Factory) *ConsFAC {
+	f := &ConsFAC{
+		n:          n,
+		announce:   make([]atomic.Pointer[Entry], n),
+		round:      make([]atomic.Int64, n),
+		prefer:     make([]atomic.Pointer[Node], n),
+		rounds:     newRoundArray(factory),
+		lastWinner: make([]int, n),
+	}
+	for p := range f.lastWinner {
+		f.lastWinner[p] = -1
+	}
+	return f
+}
+
+var _ FetchAndCons = (*ConsFAC)(nil)
+
+// FetchAndCons implements FetchAndCons (Figure 4-5).
+func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
+	f.ops.Add(1)
+	f.announce[pid].Store(e)
+
+	// Build the goal: everyone's latest announced entry (at most one per
+	// process, since processes are sequential), and find the highest round
+	// anyone has executed.
+	goal := make([]*Entry, 0, f.n)
+	lastRound := int64(0)
+	for p := 0; p < f.n; p++ {
+		if a := f.announce[p].Load(); a != nil {
+			goal = append(goal, a)
+		}
+		if r := f.round[p].Load(); r > lastRound {
+			lastRound = r
+		}
+	}
+
+	// Catch up: learn the winner of the most recent observed round. The
+	// winner variable persists across this process's calls, so the base
+	// preference always extends the last decided list this process saw.
+	winner := f.lastWinner[pid]
+	if lastRound > f.round[pid].Load() {
+		winner = f.decide(lastRound, pid)
+	}
+
+	defer func() { f.lastWinner[pid] = winner }()
+	for r := lastRound + 1; r <= lastRound+int64(f.n); r++ {
+		base := f.preferOf(winner)
+		f.prefer[pid].Store(merge(goal, base))
+		w := f.decide(r, pid)
+		winner = w
+		dec := f.preferOf(w)
+		f.prefer[pid].Store(dec)
+		f.round[pid].Store(r)
+		if w == pid {
+			return trim(dec, e)
+		}
+	}
+	return trim(f.preferOf(winner), e)
+}
+
+// decide joins consensus round r, electing a process id.
+func (f *ConsFAC) decide(r int64, pid int) int {
+	f.decisions.Add(1)
+	return int(f.rounds.get(r).Decide(pid, int64(pid)))
+}
+
+// preferOf loads p's preference; the virtual process -1 prefers the empty
+// list.
+func (f *ConsFAC) preferOf(p int) *Node {
+	if p < 0 {
+		return nil
+	}
+	return f.prefer[p].Load()
+}
+
+// RoundsPerOp reports the average number of consensus rounds joined per
+// fetch-and-cons so far (Corollary 27: bounded by n+1).
+func (f *ConsFAC) RoundsPerOp() float64 {
+	ops := f.ops.Load()
+	if ops == 0 {
+		return 0
+	}
+	return float64(f.decisions.Load()) / float64(ops)
+}
+
+// merge implements the paper's "\" operator: prepend to base every goal
+// entry not already in base, preserving goal's relative order.
+//
+// Membership is resolved in one walk of base. Within any list of the
+// coherent family, a process's entries appear with strictly decreasing
+// sequence numbers from the head (a process announces its next operation
+// only after the previous one completed and entered the list), so once the
+// walk passes an entry of the same process with a smaller sequence number,
+// the probe entry cannot appear deeper.
+func merge(goal []*Entry, base *Node) *Node {
+	if len(goal) == 0 {
+		return base
+	}
+	unresolved := len(goal)
+	found := make([]bool, len(goal))
+	resolved := make([]bool, len(goal))
+	for n := base; n != nil && unresolved > 0; n = n.Rest {
+		cur := n.Entry
+		for i, g := range goal {
+			if resolved[i] {
+				continue
+			}
+			if cur == g {
+				found[i], resolved[i] = true, true
+				unresolved--
+			} else if cur.Pid == g.Pid && cur.Seq < g.Seq {
+				resolved[i] = true // g cannot appear deeper
+				unresolved--
+			}
+		}
+	}
+	out := base
+	for i := len(goal) - 1; i >= 0; i-- {
+		if !found[i] {
+			out = Cons(goal[i], out)
+		}
+	}
+	return out
+}
+
+// trim returns the suffix following entry e in list l (the paper's trim:
+// the caller's view of the state its operation observed).
+func trim(l *Node, e *Entry) *Node {
+	for n := l; n != nil; n = n.Rest {
+		if n.Entry == e {
+			return n.Rest
+		}
+	}
+	panic(fmt.Sprintf("core: entry %s missing from decided list; Lemma 24 invariant broken", e))
+}
+
+// roundArray is the unbounded consensus[] array: a lock-free two-level
+// radix of lazily installed consensus objects. Installation is a single
+// CAS; losing the race means adopting the winner's object, so access stays
+// wait-free.
+type roundArray struct {
+	factory consensus.Factory
+	dir     [dirSize]atomic.Pointer[roundChunk]
+}
+
+const (
+	chunkBits = 10
+	chunkSize = 1 << chunkBits // rounds per chunk
+	dirSize   = 1 << 14        // chunks; ~16M rounds capacity
+)
+
+type roundChunk struct {
+	slots [chunkSize]atomic.Pointer[consensusBox]
+}
+
+type consensusBox struct{ obj consensus.Object }
+
+func newRoundArray(factory consensus.Factory) *roundArray {
+	return &roundArray{factory: factory}
+}
+
+func (a *roundArray) get(r int64) consensus.Object {
+	ci := r >> chunkBits
+	if ci >= dirSize {
+		panic("core: consensus round capacity exceeded")
+	}
+	chunk := a.dir[ci].Load()
+	if chunk == nil {
+		fresh := &roundChunk{}
+		if a.dir[ci].CompareAndSwap(nil, fresh) {
+			chunk = fresh
+		} else {
+			chunk = a.dir[ci].Load()
+		}
+	}
+	si := r & (chunkSize - 1)
+	box := chunk.slots[si].Load()
+	if box == nil {
+		fresh := &consensusBox{obj: a.factory()}
+		if chunk.slots[si].CompareAndSwap(nil, fresh) {
+			box = fresh
+		} else {
+			box = chunk.slots[si].Load()
+		}
+	}
+	return box.obj
+}

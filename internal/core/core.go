@@ -1,0 +1,116 @@
+// Package core implements the paper's central contribution (Section 4): the
+// universal construction that turns any deterministic sequential object into
+// a wait-free linearizable concurrent object, by a two-step reduction:
+//
+//  1. Universality reduces to fetch-and-cons (Figures 4-1/4-2): represent
+//     the object's state as the list of invocations applied to it, newest
+//     first. An operation "really happens" when its log entry is atomically
+//     consed onto the list; the response is computed by replaying the
+//     entries that precede it.
+//  2. Fetch-and-cons reduces either to one memory-to-memory swap
+//     (Figures 4-3/4-4, constant time) or to at most n rounds of consensus
+//     (Figure 4-5), so *any* object that solves n-process consensus is
+//     universal (Theorem 26).
+//
+// The strongly-wait-free refinement (Section 4.1) has each process replace
+// the cdr of its own log entry with the state it reconstructed, bounding
+// every replay at n entries.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"waitfree/internal/seqspec"
+)
+
+// Entry is one announced operation: a log record that fetch-and-cons
+// threads onto the shared list. Entries are identified by pointer; (Pid,
+// Seq) is a human-readable identity for reports and tests.
+type Entry struct {
+	Pid int
+	Seq int64
+	Op  seqspec.Op
+
+	// snapshot, when non-nil, holds the object state immediately *before*
+	// this entry's operation, stored by the strongly-wait-free refinement:
+	// a replayer that reaches this entry applies Op to a clone of snapshot
+	// instead of replaying further history.
+	snapshot atomic.Pointer[snapBox]
+}
+
+type snapBox struct{ state seqspec.State }
+
+// String renders the entry identity.
+func (e *Entry) String() string {
+	return fmt.Sprintf("P%d#%d:%s", e.Pid, e.Seq, e.Op)
+}
+
+// Node is an immutable cons cell of the shared log list. Lists grow by
+// prepending; Rest and Len never change after creation.
+type Node struct {
+	Entry *Entry
+	Rest  *Node
+	Len   int // number of nodes in this list (including this one)
+}
+
+// Cons prepends entry e to list rest.
+func Cons(e *Entry, rest *Node) *Node {
+	n := &Node{Entry: e, Rest: rest, Len: 1}
+	if rest != nil {
+		n.Len = rest.Len + 1
+	}
+	return n
+}
+
+// Entries returns the list's entries, newest first.
+func Entries(l *Node) []*Entry {
+	var out []*Entry
+	for n := l; n != nil; n = n.Rest {
+		out = append(out, n.Entry)
+	}
+	return out
+}
+
+// FetchAndCons is the destructive list operation of Section 4.1: atomically
+// (1) place an item at the head of the shared list and (2) return the list
+// of items that follow it. Implementations must be wait-free and
+// linearizable; each process calls it sequentially.
+type FetchAndCons interface {
+	// FetchAndCons threads e onto the list and returns the prior list (the
+	// entries that precede e in linearization order, newest first).
+	FetchAndCons(pid int, e *Entry) *Node
+}
+
+// view materializes the coherence notion of Lemmas 24/25: the view of a
+// fetch-and-cons is its argument prepended to its result.
+
+// View is a value snapshot of a list for property tests: entry pointers,
+// newest first.
+type View []*Entry
+
+// NewView builds the view of a fetch-and-cons call from its argument and
+// result.
+func NewView(e *Entry, result *Node) View {
+	v := View{e}
+	return append(v, Entries(result)...)
+}
+
+// IsSuffixOf reports whether v is a suffix of w.
+func (v View) IsSuffixOf(w View) bool {
+	if len(v) > len(w) {
+		return false
+	}
+	off := len(w) - len(v)
+	for i := range v {
+		if w[off+i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coherent reports whether one of v, w is a suffix of the other (Lemma 24).
+func Coherent(v, w View) bool {
+	return v.IsSuffixOf(w) || w.IsSuffixOf(v)
+}

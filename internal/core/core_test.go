@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+)
+
+// facMakers enumerates the fetch-and-cons implementations under test: the
+// constant-time swap construction (Figures 4-3/4-4) and the consensus-round
+// construction (Figure 4-5) over several consensus primitives.
+func facMakers(n int) map[string]func() FetchAndCons {
+	return map[string]func() FetchAndCons{
+		"swap": func() FetchAndCons { return NewSwapFAC() },
+		"consensus-cas": func() FetchAndCons {
+			return NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
+		},
+		"consensus-augqueue": func() FetchAndCons {
+			return NewConsFAC(n, func() consensus.Object { return consensus.NewAugQueue(n) })
+		},
+		"consensus-memswap": func() FetchAndCons {
+			return NewConsFAC(n, func() consensus.Object { return consensus.NewMemSwap(n) })
+		},
+	}
+}
+
+// randomOp draws a random operation for the named object type.
+func randomOp(name string, rng *rand.Rand) seqspec.Op {
+	arg := func(n int) int64 { return int64(rng.Intn(n)) }
+	switch name {
+	case "register":
+		if rng.Intn(2) == 0 {
+			return seqspec.Op{Kind: "read"}
+		}
+		return seqspec.Op{Kind: "write", Args: []int64{arg(8)}}
+	case "counter":
+		return seqspec.Op{Kind: []string{"get", "inc", "add"}[rng.Intn(3)], Args: []int64{arg(4)}}
+	case "queue":
+		if rng.Intn(2) == 0 {
+			return seqspec.Op{Kind: "enq", Args: []int64{arg(100)}}
+		}
+		return seqspec.Op{Kind: []string{"deq", "peek", "len"}[rng.Intn(3)]}
+	case "stack":
+		if rng.Intn(2) == 0 {
+			return seqspec.Op{Kind: "push", Args: []int64{arg(100)}}
+		}
+		return seqspec.Op{Kind: "pop"}
+	case "set":
+		return seqspec.Op{
+			Kind: []string{"insert", "contains", "removeMin", "len"}[rng.Intn(4)],
+			Args: []int64{arg(6)},
+		}
+	case "pqueue":
+		return seqspec.Op{
+			Kind: []string{"insert", "deleteMin", "min"}[rng.Intn(3)],
+			Args: []int64{arg(20)},
+		}
+	case "kv":
+		return seqspec.Op{
+			Kind: []string{"put", "get", "del"}[rng.Intn(3)],
+			Args: []int64{arg(4), arg(10)},
+		}
+	case "bank":
+		return seqspec.Op{
+			Kind: []string{"deposit", "withdraw", "transfer", "balance", "total"}[rng.Intn(5)],
+			Args: []int64{arg(4), arg(4), arg(5)},
+		}
+	case "list":
+		return seqspec.Op{
+			Kind: []string{"cons", "head", "nth", "len"}[rng.Intn(4)],
+			Args: []int64{arg(10)},
+		}
+	}
+	panic("unknown object " + name)
+}
+
+var allObjects = []seqspec.Object{
+	seqspec.Register{}, seqspec.Counter{}, seqspec.Queue{}, seqspec.Stack{},
+	seqspec.Set{}, seqspec.PQueue{}, seqspec.KV{}, seqspec.Bank{Accounts: 4},
+	seqspec.List{},
+}
+
+// TestUniversalSequential: driven by one process, the universal object must
+// agree exactly with the raw sequential object, for every object type and
+// every fetch-and-cons.
+func TestUniversalSequential(t *testing.T) {
+	for facName, mk := range facMakers(1) {
+		for _, obj := range allObjects {
+			t.Run(facName+"/"+obj.Name(), func(t *testing.T) {
+				u := NewUniversal(obj, mk(), 1)
+				ref := obj.Init()
+				rng := rand.New(rand.NewSource(7))
+				for i := 0; i < 200; i++ {
+					op := randomOp(obj.Name(), rng)
+					got := u.Invoke(0, op)
+					want := ref.Apply(op)
+					if got != want {
+						t.Fatalf("op %d %s: universal=%d sequential=%d", i, op, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestUniversalLinearizable: n concurrent front ends apply random
+// operations; the recorded history must be linearizable against the
+// sequential specification (the paper's correctness condition, E13).
+func TestUniversalLinearizable(t *testing.T) {
+	const n = 4
+	for facName, mk := range facMakers(n) {
+		for _, obj := range allObjects {
+			for _, truncate := range []bool{true, false} {
+				name := fmt.Sprintf("%s/%s/truncate=%v", facName, obj.Name(), truncate)
+				t.Run(name, func(t *testing.T) {
+					for trial := 0; trial < 8; trial++ {
+						var opts []Option
+						if !truncate {
+							opts = append(opts, WithoutTruncation())
+						}
+						u := NewUniversal(obj, mk(), n, opts...)
+						var rec linearize.Recorder
+						var wg sync.WaitGroup
+						for p := 0; p < n; p++ {
+							p := p
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								rng := rand.New(rand.NewSource(int64(trial*100 + p)))
+								for i := 0; i < 6; i++ {
+									op := randomOp(obj.Name(), rng)
+									ts := rec.Invoke()
+									resp := u.Invoke(p, op)
+									rec.Complete(p, op, resp, ts)
+								}
+							}()
+						}
+						wg.Wait()
+						h := rec.History()
+						res := linearize.Check(obj, h)
+						if !res.OK {
+							for _, e := range h {
+								t.Logf("  %s", e)
+							}
+							t.Fatalf("trial %d: history not linearizable", trial)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestViewCoherence is the Lemma 24/25 property: across concurrent
+// fetch-and-cons calls, all views (argument prepended to result) are
+// pairwise coherent (one is a suffix of the other), and an operation that
+// completes before another starts has a view that is a suffix of the later
+// one's.
+func TestViewCoherence(t *testing.T) {
+	const n = 4
+	for facName, mk := range facMakers(n) {
+		t.Run(facName, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				fac := mk()
+				type rec struct {
+					view   View
+					invoke int64
+					ret    int64
+				}
+				var mu sync.Mutex
+				var clock int64
+				var recs []rec
+				var wg sync.WaitGroup
+				for p := 0; p < n; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 5; i++ {
+							e := &Entry{Pid: p, Seq: int64(i + 1), Op: seqspec.Op{Kind: "cons"}}
+							mu.Lock()
+							clock++
+							inv := clock
+							mu.Unlock()
+							prior := fac.FetchAndCons(p, e)
+							mu.Lock()
+							clock++
+							recs = append(recs, rec{view: NewView(e, prior), invoke: inv, ret: clock})
+							mu.Unlock()
+						}
+					}()
+				}
+				wg.Wait()
+				for i := range recs {
+					for j := range recs {
+						if i >= j {
+							continue
+						}
+						if !Coherent(recs[i].view, recs[j].view) {
+							t.Fatalf("trial %d: views %d and %d incoherent (len %d vs %d)",
+								trial, i, j, len(recs[i].view), len(recs[j].view))
+						}
+					}
+				}
+				for i := range recs {
+					for j := range recs {
+						if recs[i].ret < recs[j].invoke && !recs[i].view.IsSuffixOf(recs[j].view) {
+							t.Fatalf("trial %d: precedence violated: view %d precedes %d but is not its suffix",
+								trial, i, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// crashingFactory wraps a consensus factory so that one specific process
+// panics inside its k-th Decide call, simulating a crash in the middle of
+// the Figure 4-5 protocol.
+type crashingFactory struct {
+	inner     consensus.Factory
+	crashPid  int
+	countdown int
+	mu        sync.Mutex
+}
+
+type crashErr struct{}
+
+func (c *crashingFactory) factory() consensus.Object {
+	obj := c.inner()
+	return crashObj{c: c, obj: obj}
+}
+
+type crashObj struct {
+	c   *crashingFactory
+	obj consensus.Object
+}
+
+func (o crashObj) Decide(pid int, input int64) int64 {
+	if pid == o.c.crashPid {
+		o.c.mu.Lock()
+		o.c.countdown--
+		hit := o.c.countdown == 0
+		o.c.mu.Unlock()
+		if hit {
+			panic(crashErr{})
+		}
+	}
+	return o.obj.Decide(pid, input)
+}
+
+// TestCrashInjection: a process that dies mid-protocol (inside a consensus
+// round of Figure 4-5) must not block the others, and the surviving
+// history — with the crashed operation pending — must remain linearizable.
+// This is the wait-freedom claim under halting failures (E13).
+func TestCrashInjection(t *testing.T) {
+	const n = 4
+	obj := seqspec.Counter{}
+	for trial := 0; trial < 25; trial++ {
+		cf := &crashingFactory{
+			inner:     func() consensus.Object { return consensus.NewCAS(n) },
+			crashPid:  trial % n,
+			countdown: 1 + trial%5,
+		}
+		fac := NewConsFAC(n, cf.factory)
+		u := NewUniversal(obj, fac, n)
+		var rec linearize.Recorder
+		var pendingMu sync.Mutex
+		var pending []linearize.Event
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					op := seqspec.Op{Kind: "inc"}
+					ts := rec.Invoke()
+					resp, crashed := func() (r int64, crashed bool) {
+						defer func() {
+							if e := recover(); e != nil {
+								if _, ok := e.(crashErr); !ok {
+									panic(e)
+								}
+								crashed = true
+							}
+						}()
+						return u.Invoke(p, op), false
+					}()
+					if crashed {
+						pendingMu.Lock()
+						pending = append(pending, linearize.Event{Pid: p, Op: op, Invoke: ts})
+						pendingMu.Unlock()
+						return // the process is dead
+					}
+					rec.Complete(p, op, resp, ts)
+				}
+			}()
+		}
+		wg.Wait()
+		res := linearize.CheckWithPending(obj, rec.History(), pending)
+		if !res.OK {
+			t.Fatalf("trial %d: post-crash history not linearizable (crashed P%d)",
+				trial, cf.crashPid)
+		}
+	}
+}
+
+// TestTruncationBoundsReplay is the Section 4.1 strongly-wait-free claim
+// (E16): with snapshots, no replay traverses more than n un-snapshotted
+// entries (n concurrent front ends); without them, replay length tracks the
+// log length.
+func TestTruncationBoundsReplay(t *testing.T) {
+	const n, opsPer = 4, 50
+	run := func(truncate bool) (mean float64, max int64) {
+		var opts []Option
+		if !truncate {
+			opts = append(opts, WithoutTruncation())
+		}
+		u := NewUniversal(seqspec.Counter{}, NewSwapFAC(), n, opts...)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					u.Invoke(p, seqspec.Op{Kind: "inc"})
+				}
+			}()
+		}
+		wg.Wait()
+		_, mean, max = u.ReplayStats()
+		return mean, max
+	}
+	meanT, maxT := run(true)
+	meanU, maxU := run(false)
+	t.Logf("truncated:   mean=%.2f max=%d", meanT, maxT)
+	t.Logf("untruncated: mean=%.2f max=%d", meanU, maxU)
+	if maxT > n {
+		t.Errorf("truncated max replay %d exceeds n=%d", maxT, n)
+	}
+	if maxU < int64(opsPer) {
+		t.Errorf("untruncated max replay %d suspiciously small (ops=%d)", maxU, n*opsPer)
+	}
+}
+
+// TestConsFACRoundBound is Corollary 27's shape (E15/E18): each
+// fetch-and-cons joins at most n+1 consensus rounds.
+func TestConsFACRoundBound(t *testing.T) {
+	const n = 4
+	fac := NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
+	u := NewUniversal(seqspec.Counter{}, fac, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				u.Invoke(p, seqspec.Op{Kind: "inc"})
+			}
+		}()
+	}
+	wg.Wait()
+	if rpo := fac.RoundsPerOp(); rpo > float64(n+1) {
+		t.Errorf("rounds per op %.2f exceeds n+1=%d", rpo, n+1)
+	} else {
+		t.Logf("rounds per op: %.2f (bound %d)", rpo, n+1)
+	}
+}
+
+// TestFinalStateMatchesLog: after concurrent updates, the final observable
+// state equals the sequential replay of any later reader's log — counters
+// must not lose increments.
+func TestFinalStateMatchesLog(t *testing.T) {
+	const n, opsPer = 8, 40
+	for facName, mk := range facMakers(n) {
+		t.Run(facName, func(t *testing.T) {
+			u := NewUniversal(seqspec.Counter{}, mk(), n)
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPer; i++ {
+						u.Invoke(p, seqspec.Op{Kind: "inc"})
+					}
+				}()
+			}
+			wg.Wait()
+			got := u.Invoke(0, seqspec.Op{Kind: "get"})
+			if got != n*opsPer {
+				t.Errorf("final count = %d, want %d", got, n*opsPer)
+			}
+		})
+	}
+}

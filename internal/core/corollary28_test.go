@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+)
+
+// TestCorollary28LevelTwoUniversalForTwo demonstrates Corollary 28: an
+// object at level n of the hierarchy is universal in a system of n
+// processes. Test-and-set and the plain FIFO queue solve only 2-process
+// consensus (level 2) — yet through Figure 4-5 they implement arbitrary
+// wait-free objects for two processes.
+func TestCorollary28LevelTwoUniversalForTwo(t *testing.T) {
+	factories := map[string]consensus.Factory{
+		"test-and-set": func() consensus.Object { return consensus.NewTAS2() },
+		"fifo-queue":   func() consensus.Object { return consensus.NewQueue2() },
+		"fetch-and-add": func() consensus.Object {
+			return consensus.NewFAA2()
+		},
+	}
+	for name, factory := range factories {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 15; trial++ {
+				fac := NewConsFAC(2, factory)
+				u := NewUniversal(seqspec.Bank{Accounts: 3}, fac, 2)
+				var rec linearize.Recorder
+				var wg sync.WaitGroup
+				for p := 0; p < 2; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(trial*2 + p)))
+						for i := 0; i < 8; i++ {
+							var op seqspec.Op
+							switch rng.Intn(3) {
+							case 0:
+								op = seqspec.Op{Kind: "deposit", Args: []int64{rng.Int63n(3), 1 + rng.Int63n(5)}}
+							case 1:
+								op = seqspec.Op{Kind: "transfer", Args: []int64{rng.Int63n(3), rng.Int63n(3), 1 + rng.Int63n(4)}}
+							default:
+								op = seqspec.Op{Kind: "total"}
+							}
+							ts := rec.Invoke()
+							resp := u.Invoke(p, op)
+							rec.Complete(p, op, resp, ts)
+						}
+					}()
+				}
+				wg.Wait()
+				if res := linearize.Check(seqspec.Bank{Accounts: 3}, rec.History()); !res.OK {
+					t.Fatalf("trial %d: 2-process universal object over %s not linearizable",
+						trial, name)
+				}
+			}
+		})
+	}
+}
+
+// TestLevelTwoConsensusRejectsThird documents the other half of the
+// boundary: a 2-process consensus object cannot serve a third process (the
+// native protocols enforce their arity), which is why Figure 4-5 at n=3
+// needs level-3-or-higher primitives.
+func TestLevelTwoConsensusRejectsThird(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TAS2 accepted a third process")
+		}
+	}()
+	obj := consensus.NewTAS2()
+	obj.Decide(2, 99) // pid out of range for a level-2 protocol
+}

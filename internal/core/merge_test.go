@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func entries(pids ...int) []*Entry {
+	seqs := map[int]int64{}
+	out := make([]*Entry, len(pids))
+	for i, p := range pids {
+		seqs[p]++
+		out[i] = &Entry{Pid: p, Seq: seqs[p]}
+	}
+	return out
+}
+
+func listOf(es ...*Entry) *Node {
+	var l *Node
+	for i := len(es) - 1; i >= 0; i-- {
+		l = Cons(es[i], l)
+	}
+	return l
+}
+
+func TestMergeBasics(t *testing.T) {
+	es := entries(0, 1, 2) // one entry per process
+	base := listOf(es[2])
+
+	merged := merge([]*Entry{es[0], es[1], es[2]}, base)
+	got := Entries(merged)
+	if len(got) != 3 || got[0] != es[0] || got[1] != es[1] || got[2] != es[2] {
+		t.Fatalf("merge order wrong: %v", got)
+	}
+
+	// Entries already in base are not duplicated.
+	merged2 := merge([]*Entry{es[2]}, base)
+	if merged2 != base {
+		t.Fatal("merging only-present entries should return base unchanged")
+	}
+
+	// Empty goal returns base.
+	if merge(nil, base) != base {
+		t.Fatal("empty goal should return base")
+	}
+
+	// Merge onto nil base.
+	merged3 := merge([]*Entry{es[0]}, nil)
+	if merged3.Len != 1 || merged3.Entry != es[0] {
+		t.Fatalf("merge onto empty list broken: %v", Entries(merged3))
+	}
+}
+
+// TestMergeEarlyTermination: a newer entry of a process resolves as absent
+// once an older entry of the same process is passed — and merge must still
+// be correct when the older entry sits deep in the base.
+func TestMergeSeqResolution(t *testing.T) {
+	old := &Entry{Pid: 1, Seq: 1}
+	mid := &Entry{Pid: 0, Seq: 1}
+	newer := &Entry{Pid: 1, Seq: 2}
+	base := listOf(mid, old) // head: mid, then old
+
+	merged := merge([]*Entry{newer}, base)
+	got := Entries(merged)
+	if len(got) != 3 || got[0] != newer {
+		t.Fatalf("newer entry should be prepended: %v", got)
+	}
+
+	// And the older entry itself is found, not re-prepended.
+	merged2 := merge([]*Entry{old}, base)
+	if merged2 != base {
+		t.Fatal("old entry is in base; merge must not duplicate it")
+	}
+}
+
+// TestMergeProperties: for random goals and bases (respecting per-process
+// descending seqs), merge yields base as a suffix, contains every goal
+// entry exactly once, and adds nothing else.
+func TestMergeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const procs = 3
+		// Build a base list: per-process seqs descend toward the head...
+		// i.e. ascending as we append from tail. Generate tail-first.
+		seqs := map[int]int64{}
+		var baseEntries []*Entry // tail first
+		for i := 0; i < rng.Intn(8); i++ {
+			p := rng.Intn(procs)
+			seqs[p]++
+			baseEntries = append(baseEntries, &Entry{Pid: p, Seq: seqs[p]})
+		}
+		var base *Node
+		for _, e := range baseEntries {
+			base = Cons(e, base)
+		}
+		// Goal: one entry per process — either one already in base or a
+		// fresh newer one.
+		var goal []*Entry
+		inBase := map[*Entry]bool{}
+		for p := 0; p < procs; p++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			var mine []*Entry
+			for _, e := range baseEntries {
+				if e.Pid == p {
+					mine = append(mine, e)
+				}
+			}
+			if len(mine) > 0 && rng.Intn(2) == 0 {
+				e := mine[len(mine)-1] // newest of p in base
+				goal = append(goal, e)
+				inBase[e] = true
+			} else {
+				seqs[p]++
+				goal = append(goal, &Entry{Pid: p, Seq: seqs[p]})
+			}
+		}
+
+		merged := merge(goal, base)
+		got := Entries(merged)
+		// base is a suffix
+		baseView := View(Entries(base))
+		if !baseView.IsSuffixOf(View(got)) {
+			return false
+		}
+		// every goal entry present exactly once
+		count := map[*Entry]int{}
+		for _, e := range got {
+			count[e]++
+		}
+		for _, g := range goal {
+			if count[g] != 1 {
+				return false
+			}
+		}
+		// nothing else added
+		expectedNew := 0
+		for _, g := range goal {
+			if !inBase[g] {
+				expectedNew++
+			}
+		}
+		return len(got) == len(baseEntries)+expectedNew
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	es := entries(0, 1, 0)
+	l := listOf(es[2], es[1], es[0]) // newest first: P0#2, P1#1, P0#1
+
+	suffix := trim(l, es[1])
+	if suffix == nil || suffix.Entry != es[0] {
+		t.Fatalf("trim returned wrong suffix: %v", Entries(suffix))
+	}
+	if trim(l, es[0]) != nil {
+		t.Fatal("trim at the tail should return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("trim of a missing entry must panic (invariant violation)")
+		}
+	}()
+	trim(l, &Entry{Pid: 9, Seq: 9})
+}

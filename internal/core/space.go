@@ -1,0 +1,31 @@
+package core
+
+// Space accounting for the Section 4.1 reclamation argument: "it is safe to
+// discard any state elements whose n immediate predecessors in the list are
+// also state elements", bounding live storage at O(n^2). In Go the garbage
+// collector performs the actual reclamation (nothing references nodes below
+// a replay's stopping point), but the *live region* — the prefix a future
+// replay might still traverse — is measurable and should obey the paper's
+// bound.
+
+// LiveRegion returns the length of the list prefix that a replay by any of
+// n processes could still traverse: the number of nodes from head up to and
+// including the n-th consecutive snapshotted entry (everything below is
+// unreachable by the replay rule). A region of -1 means the entire list is
+// live (fewer than n consecutive snapshots exist).
+func LiveRegion(head *Node, n int) int {
+	consecutive := 0
+	length := 0
+	for node := head; node != nil; node = node.Rest {
+		length++
+		if node.Entry.snapshot.Load() != nil {
+			consecutive++
+			if consecutive >= n {
+				return length
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	return -1
+}

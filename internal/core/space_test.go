@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"waitfree/internal/seqspec"
+)
+
+// TestLiveRegionBound is the Section 4.1 space claim: with snapshots, the
+// list prefix any replay can still traverse stays O(n^2) even while the log
+// itself grows without bound. The region is sampled concurrently with the
+// workload, at its most pessimistic moments.
+func TestLiveRegionBound(t *testing.T) {
+	const n, opsPer = 4, 300
+	fac := NewSwapFAC()
+	u := NewUniversal(seqspec.Counter{}, fac, n)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worst := 0
+	wg.Add(1)
+	go func() { // the sampler
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if r := LiveRegion(fac.Head(), n); r > worst {
+				worst = r
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < opsPer; i++ {
+				u.Invoke(p, seqspec.Op{Kind: "inc"})
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+
+	total := fac.Head().Len
+	if total != n*opsPer {
+		t.Fatalf("log length %d, want %d", total, n*opsPer)
+	}
+	// The paper's bound: at most n un-snapshotted operations in flight,
+	// each able to pin up to n additional entries — O(n^2). Allow a factor
+	// for sampler raciness (an entry's snapshot store may trail its
+	// observation); the point is the region must not track the log length.
+	bound := 4 * n * n
+	if worst == -1 || worst > bound {
+		t.Errorf("worst live region %d exceeds O(n^2) bound %d (log length %d)",
+			worst, bound, total)
+	}
+	t.Logf("log length %d, worst live region %d (bound %d)", total, worst, bound)
+}
+
+// TestLiveRegionUntruncated: without snapshots the whole log stays live —
+// the contrast that motivates the refinement.
+func TestLiveRegionUntruncated(t *testing.T) {
+	const n, opsPer = 2, 50
+	fac := NewSwapFAC()
+	u := NewUniversal(seqspec.Counter{}, fac, n, WithoutTruncation())
+	for p := 0; p < n; p++ {
+		for i := 0; i < opsPer; i++ {
+			u.Invoke(p, seqspec.Op{Kind: "inc"})
+		}
+	}
+	if r := LiveRegion(fac.Head(), n); r != -1 {
+		t.Errorf("untruncated log should be entirely live, got region %d", r)
+	}
+}

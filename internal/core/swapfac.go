@@ -1,0 +1,48 @@
+package core
+
+import "sync"
+
+// SwapFAC is the constant-time fetch-and-cons of Figures 4-3/4-4: a single
+// memory-to-memory swap of the list anchor with the new cell's cdr threads
+// the cell and captures the prior list in one atomic step.
+//
+// Substitution note: the two-pointer memory-to-memory swap is a hardware
+// primitive in the paper (consensus number infinity, Theorem 16) that no
+// mainstream ISA provides; as with registers.Memory, the primitive is
+// simulated by a mutex gate whose critical section is exactly the swap.
+// Each FetchAndCons is one primitive step, so client wait-freedom is
+// preserved in the paper's cost model.
+type SwapFAC struct {
+	mu   sync.Mutex
+	head *Node
+}
+
+// NewSwapFAC builds an empty list.
+func NewSwapFAC() *SwapFAC { return &SwapFAC{} }
+
+var _ FetchAndCons = (*SwapFAC)(nil)
+
+// FetchAndCons implements FetchAndCons in one (simulated) memory-to-memory
+// swap: anchor <-> cell.cdr.
+func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
+	cell := &Node{Entry: e}
+
+	f.mu.Lock() // begin simulated atomic swap(anchor, cell.cdr)
+	prior := f.head
+	cell.Rest = prior
+	cell.Len = 1
+	if prior != nil {
+		cell.Len = prior.Len + 1
+	}
+	f.head = cell
+	f.mu.Unlock() // end simulated atomic swap
+
+	return prior
+}
+
+// Head returns the current list head (for tests and inspection).
+func (f *SwapFAC) Head() *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.head
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"waitfree/internal/seqspec"
+)
+
+// Universal is the paper's universal object (Figures 4-1/4-2): a wait-free
+// linearizable concurrent version of any deterministic sequential object,
+// built over any fetch-and-cons.
+//
+// An operation executes in two steps. First the front end threads a log
+// entry onto the shared list with fetch-and-cons — this is when the
+// operation "really happens", fixing its linearization point. Second it
+// replays the entries that precede its own to reconstruct the object state
+// and compute the response.
+//
+// With truncation enabled (the strongly-wait-free refinement of Section
+// 4.1), each front end stores the state it reconstructed into its own
+// entry; replays stop at the first entry carrying a state. Every completed
+// operation carries a snapshot, so a replay traverses at most one
+// un-snapshotted entry per concurrent process — the per-operation work is
+// bounded by n rather than by the object's age, and everything below the
+// last snapshot is garbage (reclaimed by GC; the paper's manual reclamation
+// argument bounds live storage at O(n^2)).
+type Universal struct {
+	seq      seqspec.Object
+	fac      FetchAndCons
+	truncate bool
+	seqs     []atomic.Int64
+
+	// replay statistics for the Section 4.1 experiments.
+	replayOps   atomic.Int64
+	replayCells atomic.Int64
+	replayMax   atomic.Int64
+}
+
+// Option configures a Universal.
+type Option func(*Universal)
+
+// WithoutTruncation disables the strongly-wait-free snapshot refinement,
+// yielding the plain wait-free construction whose k-th operation replays k
+// entries.
+func WithoutTruncation() Option {
+	return func(u *Universal) { u.truncate = false }
+}
+
+// NewUniversal builds a wait-free version of seq for n processes over fac.
+// Truncation is enabled by default.
+func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *Universal {
+	u := &Universal{seq: seq, fac: fac, truncate: true, seqs: make([]atomic.Int64, n)}
+	for _, o := range opts {
+		o(u)
+	}
+	return u
+}
+
+// Invoke executes op on behalf of process pid and returns its response.
+// Each pid must invoke sequentially (a front end is a single thread of
+// control); distinct pids may invoke concurrently.
+func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
+	e := &Entry{Pid: pid, Seq: u.seqs[pid].Add(1), Op: op}
+	prior := u.fac.FetchAndCons(pid, e)
+	pre := u.replay(prior)
+	if u.truncate {
+		e.snapshot.Store(&snapBox{state: pre.Clone()})
+	}
+	return pre.Apply(op)
+}
+
+// replay reconstructs the object state after all entries of list (newest
+// first), stopping early at snapshots when present.
+func (u *Universal) replay(list *Node) seqspec.State {
+	var pending []*Entry
+	var state seqspec.State
+	for n := list; ; n = n.Rest {
+		if n == nil {
+			state = u.seq.Init()
+			break
+		}
+		if s := n.Entry.snapshot.Load(); s != nil {
+			// s.state is the state before n.Entry's op; apply it first.
+			state = s.state.Clone()
+			state.Apply(n.Entry.Op)
+			break
+		}
+		pending = append(pending, n.Entry)
+	}
+	for i := len(pending) - 1; i >= 0; i-- {
+		state.Apply(pending[i].Op)
+	}
+
+	u.replayOps.Add(1)
+	u.replayCells.Add(int64(len(pending)))
+	for {
+		max := u.replayMax.Load()
+		if int64(len(pending)) <= max || u.replayMax.CompareAndSwap(max, int64(len(pending))) {
+			break
+		}
+	}
+	return state
+}
+
+// Handle returns pid's front end (Figure 4-1): a single thread of control
+// that drives the object on that process's behalf. It is a convenience that
+// binds the pid once; the sequential-use contract is per handle.
+func (u *Universal) Handle(pid int) *Handle {
+	if pid < 0 || pid >= len(u.seqs) {
+		panic("core: Handle pid out of range")
+	}
+	return &Handle{u: u, pid: pid}
+}
+
+// Handle is a per-process front end of a Universal object.
+type Handle struct {
+	u   *Universal
+	pid int
+}
+
+// Invoke executes op on behalf of the handle's process.
+func (h *Handle) Invoke(op seqspec.Op) int64 { return h.u.Invoke(h.pid, op) }
+
+// Pid returns the process id this handle drives.
+func (h *Handle) Pid() int { return h.pid }
+
+// ReplayStats reports (operations, mean replay length, max replay length):
+// the Section 4.1 experiment comparing wait-free with strongly wait-free.
+func (u *Universal) ReplayStats() (ops int64, mean float64, max int64) {
+	ops = u.replayOps.Load()
+	if ops > 0 {
+		mean = float64(u.replayCells.Load()) / float64(ops)
+	}
+	return ops, mean, u.replayMax.Load()
+}

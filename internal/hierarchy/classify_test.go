@@ -1,0 +1,73 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"waitfree/internal/model"
+)
+
+func casObject(n int) model.Object {
+	fn := model.RMWFn{
+		Name: "compare-and-swap",
+		Apply: func(cur, a, b model.Value) model.Value {
+			if cur == a {
+				return b
+			}
+			return cur
+		},
+		Operands: [][2]model.Value{{model.None, 0}, {model.None, 1}},
+	}
+	return model.NewMemory("cas-reg", []model.Value{model.None},
+		model.WithRMW(fn), model.WithoutRW())
+}
+
+// TestClassifyRegisters: a single read/write register classifies at
+// consensus number exactly 1 within depth 2 — Theorem 2's machine shadow.
+func TestClassifyRegisters(t *testing.T) {
+	c := Classify(model.NewMemory("rw", []model.Value{0}), 2, 0)
+	if c.Lower != 1 || !c.Exact {
+		t.Fatalf("registers: %s", c)
+	}
+	t.Logf("%s", c)
+}
+
+// TestClassifyCAS: a compare-and-swap register classifies at >= 3 within
+// depth 1 (the searcher finds and re-verifies 2- and 3-process protocols).
+func TestClassifyCAS(t *testing.T) {
+	c := Classify(casObject(3), 1, 0)
+	if c.Lower != 3 {
+		t.Fatalf("cas: %s", c)
+	}
+	if !strings.Contains(c.Detail, "universal") {
+		t.Errorf("cas detail should point at the hierarchy: %s", c.Detail)
+	}
+	t.Logf("%s", c)
+}
+
+// TestClassifyTAS: a bare test-and-set register has no way to communicate
+// the winner's input, so at depth 1 it classifies as 1-within-bounds —
+// and the Exact flag honestly reports that this is a bounded verdict (the
+// true consensus number is 2, reachable with announce registers and depth
+// 3, per Theorem 4).
+func TestClassifyTAS(t *testing.T) {
+	obj := model.NewMemory("tas", []model.Value{0},
+		model.WithRMW(model.TestAndSet), model.WithoutRW())
+	c := Classify(obj, 1, 0)
+	if c.Lower != 1 || !c.Exact {
+		t.Fatalf("tas at depth 1: %s", c)
+	}
+	t.Logf("%s (bounded verdict; Theorem 4 protocol needs registers + depth 3)", c)
+}
+
+// TestClassifyBudgetExhaustion: with a tiny budget the classifier reports
+// inconclusiveness instead of a fake verdict.
+func TestClassifyBudgetExhaustion(t *testing.T) {
+	c := Classify(model.NewMemory("rw", make([]model.Value, 2)), 3, 1000)
+	if c.Exact {
+		t.Fatalf("tiny budget must not produce an exact verdict: %s", c)
+	}
+	if !strings.Contains(c.Detail, "inconclusive") {
+		t.Errorf("detail should say inconclusive: %s", c.Detail)
+	}
+}

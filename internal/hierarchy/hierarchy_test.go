@@ -1,0 +1,51 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableStructure: the fast table (no synthesis) must reproduce Figure
+// 1-1's rows, and every lower-bound model check must have succeeded.
+func TestTableStructure(t *testing.T) {
+	var progress []string
+	rows := Table(Options{Progress: func(s string) { progress = append(progress, s) }})
+
+	wantLevels := map[string]string{
+		"atomic read/write registers":       "1",
+		"point-to-point FIFO channels":      "1",
+		"test-and-set, swap, fetch-and-add": "2",
+		"FIFO queue, stack":                 "2",
+		"n-register assignment":             "2n-2",
+		"memory-to-memory move":             "inf",
+		"memory-to-memory swap":             "inf",
+		"augmented queue (peek)":            "inf",
+		"compare-and-swap":                  "inf",
+		"ordered broadcast":                 "inf",
+		"fetch-and-cons":                    "inf",
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if want, ok := wantLevels[r.Object]; ok {
+			seen[r.Object] = true
+			if r.Level != want {
+				t.Errorf("%s: level %s, want %s", r.Object, r.Level, want)
+			}
+		}
+		if strings.Contains(r.Lower.Detail, "FAILED") {
+			t.Errorf("%s: lower bound failed: %s", r.Object, r.Lower.Detail)
+		}
+		if strings.Contains(r.Upper.Detail, "FAILED") ||
+			strings.Contains(r.Upper.Detail, "contradicted") {
+			t.Errorf("%s: upper bound failed: %s", r.Object, r.Upper.Detail)
+		}
+	}
+	for obj := range wantLevels {
+		if !seen[obj] {
+			t.Errorf("missing row for %q", obj)
+		}
+	}
+	if len(progress) == 0 {
+		t.Error("progress callback never invoked")
+	}
+}

@@ -1,0 +1,21 @@
+package interfere_test
+
+import (
+	"fmt"
+
+	"waitfree/internal/interfere"
+)
+
+// ExampleCheck decides the Theorem 6 hypothesis for the classical
+// primitives, and shows compare-and-swap breaking it.
+func ExampleCheck() {
+	classical := interfere.ClassicalSet(4)
+	fmt.Println("classical interferes:", interfere.Check(classical).Interfering)
+
+	withCAS := append(classical, interfere.CASFamily(4)...)
+	rep := interfere.Check(withCAS)
+	fmt.Println("with CAS interferes:", rep.Interfering)
+	// Output:
+	// classical interferes: true
+	// with CAS interferes: false
+}

@@ -1,0 +1,161 @@
+// Package interfere implements the decision procedure behind Theorem 6:
+// a set F of read-modify-write functions is *interfering* if for every
+// value v and all f, g in F, either f and g commute at v
+// (f(g(v)) == g(f(v))) or one overwrites the other at v
+// (f(g(v)) == f(v) or g(f(v)) == g(v)).
+//
+// Theorem 6 proves that no combination of read-modify-write operations
+// drawn from an interfering set can solve three-process wait-free
+// consensus. Over a finite domain the property is exactly decidable by
+// enumeration, which classifies the classical primitives: read, write,
+// test-and-set, swap and fetch-and-add form an interfering set (so their
+// consensus number is at most 2 — and exactly 2 by Theorem 4), while
+// compare-and-swap breaks interference (Corollary 8's separation, and by
+// Theorem 7 it is universal).
+package interfere
+
+import (
+	"fmt"
+)
+
+// Fn is a unary function over the finite domain {0, ..., D-1}, tabulated.
+type Fn struct {
+	Name string
+	Map  []int // Map[v] = f(v)
+}
+
+// Apply evaluates the function.
+func (f Fn) Apply(v int) int { return f.Map[v] }
+
+// Witness is a counterexample to interference: a value and a pair of
+// functions that neither commute nor overwrite there.
+type Witness struct {
+	F, G Fn
+	V    int
+}
+
+// String renders the counterexample with all four relevant values.
+func (w Witness) String() string {
+	fg := w.F.Apply(w.G.Apply(w.V))
+	gf := w.G.Apply(w.F.Apply(w.V))
+	return fmt.Sprintf("at v=%d: %s(%s(v))=%d, %s(%s(v))=%d, %s(v)=%d, %s(v)=%d",
+		w.V, w.F.Name, w.G.Name, fg, w.G.Name, w.F.Name, gf,
+		w.F.Name, w.F.Apply(w.V), w.G.Name, w.G.Apply(w.V))
+}
+
+// Report is the outcome of an interference check.
+type Report struct {
+	Interfering bool
+	Witness     *Witness // non-nil iff not interfering
+	Pairs       int      // (f, g, v) triples examined
+}
+
+// Check decides whether fns is an interfering set. All functions must share
+// one domain size.
+func Check(fns []Fn) Report {
+	rep := Report{Interfering: true}
+	for i, f := range fns {
+		for j, g := range fns {
+			if j < i {
+				continue
+			}
+			for v := range f.Map {
+				rep.Pairs++
+				fg := f.Apply(g.Apply(v))
+				gf := g.Apply(f.Apply(v))
+				commute := fg == gf
+				overwriteFG := fg == f.Apply(v)
+				overwriteGF := gf == g.Apply(v)
+				if !commute && !overwriteFG && !overwriteGF {
+					w := Witness{F: f, G: g, V: v}
+					return Report{Interfering: false, Witness: &w, Pairs: rep.Pairs}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Standard families over a domain of size d.
+
+// Read is the identity (the trivial RMW).
+func Read(d int) Fn {
+	m := make([]int, d)
+	for v := range m {
+		m[v] = v
+	}
+	return Fn{Name: "read", Map: m}
+}
+
+// Write is the constant function writing c.
+func Write(d, c int) Fn {
+	m := make([]int, d)
+	for v := range m {
+		m[v] = c
+	}
+	return Fn{Name: fmt.Sprintf("write%d", c), Map: m}
+}
+
+// TestAndSet sets to 1.
+func TestAndSet(d int) Fn {
+	f := Write(d, 1)
+	f.Name = "test-and-set"
+	return f
+}
+
+// Swap is the constant function for operand c (the register-to-processor
+// swap of Section 3.2).
+func Swap(d, c int) Fn {
+	f := Write(d, c)
+	f.Name = fmt.Sprintf("swap%d", c)
+	return f
+}
+
+// FetchAndAdd adds k modulo the domain size (a finite-domain projection of
+// unbounded addition; commutation and overwriting are preserved exactly).
+func FetchAndAdd(d, k int) Fn {
+	m := make([]int, d)
+	for v := range m {
+		m[v] = (v + k) % d
+	}
+	return Fn{Name: fmt.Sprintf("faa%d", k), Map: m}
+}
+
+// CompareAndSwap writes b when the value equals a, else leaves it.
+func CompareAndSwap(d, a, b int) Fn {
+	m := make([]int, d)
+	for v := range m {
+		if v == a {
+			m[v] = b
+		} else {
+			m[v] = v
+		}
+	}
+	return Fn{Name: fmt.Sprintf("cas%d-%d", a, b), Map: m}
+}
+
+// ClassicalSet builds the paper's classical interfering family over domain
+// size d: read, all writes, test-and-set, all swaps, and all fetch-and-adds.
+func ClassicalSet(d int) []Fn {
+	fns := []Fn{Read(d), TestAndSet(d)}
+	for c := 0; c < d; c++ {
+		fns = append(fns, Write(d, c), Swap(d, c))
+	}
+	for k := 1; k < d; k++ {
+		fns = append(fns, FetchAndAdd(d, k))
+	}
+	return fns
+}
+
+// CASFamily builds every compare-and-swap instance over domain size d.
+func CASFamily(d int) []Fn {
+	var fns []Fn
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			if a != b {
+				fns = append(fns, CompareAndSwap(d, a, b))
+			}
+		}
+	}
+	return fns
+}

@@ -1,0 +1,109 @@
+package interfere
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestClassicalSetInterferes: read, write, test-and-set, swap and
+// fetch-and-add form an interfering set at every domain size — the Theorem 6
+// hypothesis for the classical primitives, hence consensus number at most 2.
+func TestClassicalSetInterferes(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8, 16} {
+		rep := Check(ClassicalSet(d))
+		if !rep.Interfering {
+			t.Errorf("domain %d: classical set should interfere; witness: %s", d, rep.Witness)
+		} else {
+			t.Logf("domain %d: interfering (%d triples)", d, rep.Pairs)
+		}
+	}
+}
+
+// TestCASBreaksInterference: adding compare-and-swap to the classical set
+// destroys interference (Corollary 8's separation).
+func TestCASBreaksInterference(t *testing.T) {
+	for _, d := range []int{3, 4, 8} {
+		fns := append(ClassicalSet(d), CASFamily(d)...)
+		rep := Check(fns)
+		if rep.Interfering {
+			t.Errorf("domain %d: CAS should break interference", d)
+		} else {
+			t.Logf("domain %d: witness: %s", d, rep.Witness)
+		}
+	}
+}
+
+// TestCASAloneNotInterfering: even the pure CAS family is non-interfering
+// for domains of size >= 3.
+func TestCASAloneNotInterfering(t *testing.T) {
+	rep := Check(CASFamily(3))
+	if rep.Interfering {
+		t.Error("CAS family over domain 3 should not interfere")
+	}
+}
+
+// TestPairwiseSubsets: every two-element subset of the classical set
+// interferes (interference is established pairwise).
+func TestPairwiseSubsets(t *testing.T) {
+	const d = 6
+	set := ClassicalSet(d)
+	for i := range set {
+		for j := i; j < len(set); j++ {
+			rep := Check([]Fn{set[i], set[j]})
+			if !rep.Interfering {
+				t.Errorf("pair (%s, %s) should interfere; witness: %s",
+					set[i].Name, set[j].Name, rep.Witness)
+			}
+		}
+	}
+}
+
+// TestCheckProperties uses testing/quick to validate structural properties
+// of the checker itself: any set of constant functions interferes
+// (constants always overwrite), and any singleton {f} interferes with
+// itself only if f(f(v)) is consistent — which always holds, since f
+// trivially commutes with itself.
+func TestCheckProperties(t *testing.T) {
+	constants := func(cs []uint8) bool {
+		const d = 8
+		var fns []Fn
+		for _, c := range cs {
+			fns = append(fns, Write(d, int(c%d)))
+		}
+		return Check(fns).Interfering
+	}
+	if err := quick.Check(constants, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("constant sets must interfere: %v", err)
+	}
+
+	selfCommute := func(tab []uint8) bool {
+		const d = 8
+		if len(tab) < d {
+			return true
+		}
+		m := make([]int, d)
+		for v := range m {
+			m[v] = int(tab[v] % d)
+		}
+		return Check([]Fn{{Name: "f", Map: m}}).Interfering
+	}
+	if err := quick.Check(selfCommute, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("singletons must interfere (self-commutation): %v", err)
+	}
+}
+
+// TestWitnessIsReal: when the checker reports a witness, the witness indeed
+// violates both commutation and overwriting.
+func TestWitnessIsReal(t *testing.T) {
+	fns := append(ClassicalSet(4), CASFamily(4)...)
+	rep := Check(fns)
+	if rep.Interfering {
+		t.Fatal("expected a witness")
+	}
+	w := rep.Witness
+	fg := w.F.Apply(w.G.Apply(w.V))
+	gf := w.G.Apply(w.F.Apply(w.V))
+	if fg == gf || fg == w.F.Apply(w.V) || gf == w.G.Apply(w.V) {
+		t.Errorf("reported witness does not violate interference: %s", w)
+	}
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Channels is the message-passing model object of Section 3.1/3.3: a matrix
+// of point-to-point FIFO channels between n processes, as in a hypercube
+// architecture. Receives are total (None on empty), matching the paper's
+// totality requirement.
+//
+// Operations for process p:
+//
+//	send(q,v)  -> None; appends v to the channel p -> q
+//	recv(q)    -> head of the channel q -> p, or None if empty
+type Channels struct {
+	name string
+	n    int
+	menu []Value
+}
+
+// NewChannels builds an n-process point-to-point FIFO channel matrix.
+func NewChannels(name string, n int, menu ...Value) *Channels {
+	if len(menu) == 0 {
+		menu = []Value{0, 1}
+	}
+	return &Channels{name: name, n: n, menu: menu}
+}
+
+// Name implements Object.
+func (c *Channels) Name() string { return c.name }
+
+// Init implements Object.
+func (c *Channels) Init() string {
+	parts := make([]string, c.n*c.n)
+	return strings.Join(parts, ";")
+}
+
+// Apply implements Object. Ops must carry the sender/receiver pid in C,
+// because channel endpoints are per-process; Send and Recv build such ops.
+func (c *Channels) Apply(state string, op Op) (string, Value) {
+	chans := strings.Split(state, ";")
+	p := int(op.C) // the acting process
+	switch op.Kind {
+	case "send":
+		idx := p*c.n + int(op.A)
+		items := DecodeValues(chans[idx])
+		items = append(items, op.B)
+		chans[idx] = EncodeValues(items)
+		return strings.Join(chans, ";"), None
+	case "recv":
+		idx := int(op.A)*c.n + p
+		items := DecodeValues(chans[idx])
+		if len(items) == 0 {
+			return state, None
+		}
+		head := items[0]
+		chans[idx] = EncodeValues(items[1:])
+		return strings.Join(chans, ";"), head
+	default:
+		panic(fmt.Sprintf("model: channels %q: unknown op kind %q", c.name, op.Kind))
+	}
+}
+
+// Send builds a send op: process from appends v to its channel to process to.
+func (c *Channels) Send(from, to int, v Value) Op {
+	return Op{Kind: "send", A: Value(to), B: v, C: Value(from)}
+}
+
+// Recv builds a receive op: process at pops the head of from's channel to it.
+func (c *Channels) Recv(at, from int) Op {
+	return Op{Kind: "recv", A: Value(from), B: None, C: Value(at)}
+}
+
+// Ops implements Object.
+func (c *Channels) Ops(n, pid int) []Op {
+	var ops []Op
+	for q := 0; q < c.n; q++ {
+		if q == pid {
+			continue
+		}
+		ops = append(ops, c.Recv(pid, q))
+		for _, v := range c.menu {
+			ops = append(ops, c.Send(pid, q, v))
+		}
+	}
+	return ops
+}
+
+// Broadcast is the ordered-broadcast model object referenced in Section 3.1
+// (Dolev, Dwork and Stockmeyer: "broadcast with ordered delivery ... does
+// solve n-process consensus"). All processes observe broadcast messages in
+// one global total order; each process consumes the log through its own
+// cursor, which is part of the object state.
+//
+// Operations for process p:
+//
+//	bcast(v)  -> None; appends v to the global log
+//	brecv()   -> next unread log entry for p, or None
+type Broadcast struct {
+	name string
+	n    int
+	menu []Value
+}
+
+// NewBroadcast builds an n-process ordered-broadcast object.
+func NewBroadcast(name string, n int, menu ...Value) *Broadcast {
+	if len(menu) == 0 {
+		menu = []Value{0, 1}
+	}
+	return &Broadcast{name: name, n: n, menu: menu}
+}
+
+// Name implements Object.
+func (b *Broadcast) Name() string { return b.name }
+
+// Init implements Object. The state is "log;cursors".
+func (b *Broadcast) Init() string {
+	return ";" + EncodeValues(make([]Value, b.n))
+}
+
+// Apply implements Object.
+func (b *Broadcast) Apply(state string, op Op) (string, Value) {
+	parts := strings.SplitN(state, ";", 2)
+	log, cursors := DecodeValues(parts[0]), DecodeValues(parts[1])
+	p := int(op.C)
+	switch op.Kind {
+	case "bcast":
+		log = append(log, op.A)
+		return EncodeValues(log) + ";" + EncodeValues(cursors), None
+	case "brecv":
+		if int(cursors[p]) >= len(log) {
+			return state, None
+		}
+		v := log[cursors[p]]
+		cursors[p]++
+		return EncodeValues(log) + ";" + EncodeValues(cursors), v
+	default:
+		panic(fmt.Sprintf("model: broadcast %q: unknown op kind %q", b.name, op.Kind))
+	}
+}
+
+// Bcast builds a broadcast op for process from.
+func (b *Broadcast) Bcast(from int, v Value) Op {
+	return Op{Kind: "bcast", A: v, B: None, C: Value(from)}
+}
+
+// Brecv builds a receive op for process at.
+func (b *Broadcast) Brecv(at int) Op {
+	return Op{Kind: "brecv", A: None, B: None, C: Value(at)}
+}
+
+// Ops implements Object.
+func (b *Broadcast) Ops(n, pid int) []Op {
+	ops := []Op{b.Brecv(pid)}
+	for _, v := range b.menu {
+		ops = append(ops, b.Bcast(pid, v))
+	}
+	return ops
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Composite combines several model objects into one, so protocols can use a
+// heterogeneous shared memory (for example registers plus a queue). Sub-object
+// k's operations are addressed by prefixing the op kind with "k:".
+type Composite struct {
+	name string
+	subs []Object
+}
+
+// NewComposite builds a composite of the given objects.
+func NewComposite(name string, subs ...Object) *Composite {
+	return &Composite{name: name, subs: subs}
+}
+
+// At builds an op addressed to sub-object k.
+func (c *Composite) At(k int, op Op) Op {
+	op.Kind = fmt.Sprintf("%d:%s", k, op.Kind)
+	return op
+}
+
+// Name implements Object.
+func (c *Composite) Name() string { return c.name }
+
+// Init implements Object.
+func (c *Composite) Init() string {
+	parts := make([]string, len(c.subs))
+	for i, s := range c.subs {
+		parts[i] = s.Init()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Apply implements Object.
+func (c *Composite) Apply(state string, op Op) (string, Value) {
+	parts := strings.Split(state, "|")
+	var k int
+	var kind string
+	if _, err := fmt.Sscanf(op.Kind, "%d:%s", &k, &kind); err != nil {
+		panic("model: composite " + c.name + ": op not addressed to a sub-object: " + op.Kind)
+	}
+	sub := op
+	sub.Kind = kind
+	next, resp := c.subs[k].Apply(parts[k], sub)
+	parts[k] = next
+	return strings.Join(parts, "|"), resp
+}
+
+// Ops implements Object.
+func (c *Composite) Ops(n, pid int) []Op {
+	var ops []Op
+	for k, s := range c.subs {
+		for _, op := range s.Ops(n, pid) {
+			ops = append(ops, c.At(k, op))
+		}
+	}
+	return ops
+}

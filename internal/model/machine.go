@@ -1,0 +1,67 @@
+package model
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Machine is a convenience for writing protocols whose local state is a
+// program counter plus a fixed-size vector of local variables. It implements
+// Protocol; concrete protocols supply three functions.
+//
+// The encoded local state is "pc:v0,v1,...". The Halted program counter is
+// reserved; Step must not be called on a halted machine (the checker stops
+// scheduling a process once it decides).
+type Machine struct {
+	// ProtoName identifies the protocol in reports.
+	ProtoName string
+	// N is the number of processes.
+	N int
+	// StartVars returns pid's initial local variable vector.
+	StartVars func(pid int, input Value) []Value
+	// OnStep returns pid's next action at the given program counter.
+	OnStep func(pid, pc int, vars []Value) Action
+	// OnResp consumes the response to the invocation issued at pc and
+	// returns the next program counter and variable vector. It may mutate
+	// and return vars.
+	OnResp func(pid, pc int, vars []Value, resp Value) (int, []Value)
+}
+
+var _ Protocol = (*Machine)(nil)
+
+// Name implements Protocol.
+func (m *Machine) Name() string { return m.ProtoName }
+
+// Procs implements Protocol.
+func (m *Machine) Procs() int { return m.N }
+
+// Init implements Protocol.
+func (m *Machine) Init(pid int, input Value) string {
+	return encodeLocal(0, m.StartVars(pid, input))
+}
+
+// Step implements Protocol.
+func (m *Machine) Step(pid int, local string) Action {
+	pc, vars := decodeLocal(local)
+	return m.OnStep(pid, pc, vars)
+}
+
+// Next implements Protocol.
+func (m *Machine) Next(pid int, local string, resp Value) string {
+	pc, vars := decodeLocal(local)
+	pc2, vars2 := m.OnResp(pid, pc, vars, resp)
+	return encodeLocal(pc2, vars2)
+}
+
+func encodeLocal(pc int, vars []Value) string {
+	return strconv.Itoa(pc) + ":" + EncodeValues(vars)
+}
+
+func decodeLocal(s string) (int, []Value) {
+	i := strings.IndexByte(s, ':')
+	pc, err := strconv.Atoi(s[:i])
+	if err != nil {
+		panic("model: corrupt local state encoding: " + s)
+	}
+	return pc, DecodeValues(s[i+1:])
+}

@@ -1,0 +1,258 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw []int16) bool {
+		vs := make([]Value, len(raw))
+		for i, r := range raw {
+			vs[i] = Value(r)
+		}
+		got := DecodeValues(EncodeValues(vs))
+		if len(got) != len(vs) {
+			return len(vs) == 0 && got == nil
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: "read", A: 1, B: None, C: None}, "read(1)"},
+		{Op{Kind: "write", A: 0, B: 5, C: None}, "write(0,5)"},
+		{Op{Kind: "rmw", A: 0, B: 1, C: 2}, "rmw(0,1,2)"},
+		{Op{Kind: "deq", A: None, B: None, C: None}, "deq()"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory("m", []Value{1, 2})
+	s := m.Init()
+	s, resp := m.Apply(s, Op{Kind: "read", A: 0, B: None, C: None})
+	if resp != 1 {
+		t.Errorf("read = %d", resp)
+	}
+	s, _ = m.Apply(s, Op{Kind: "write", A: 1, B: 9, C: None})
+	_, resp = m.Apply(s, Op{Kind: "read", A: 1, B: None, C: None})
+	if resp != 9 {
+		t.Errorf("read after write = %d", resp)
+	}
+}
+
+func TestMemoryRMW(t *testing.T) {
+	m := NewMemory("m", []Value{0}, WithRMW(TestAndSet, FetchAndAdd))
+	s := m.Init()
+	s, old := m.Apply(s, Op{Kind: "rmw", A: 0, B: m.FnIndex("test-and-set"), C: 0})
+	if old != 0 {
+		t.Errorf("tas old = %d", old)
+	}
+	s, old = m.Apply(s, Op{Kind: "rmw", A: 0, B: m.FnIndex("fetch-and-add"), C: 0})
+	if old != 1 {
+		t.Errorf("faa old = %d", old)
+	}
+	_, cur := m.Apply(s, Op{Kind: "read", A: 0, B: None, C: None})
+	if cur != 2 {
+		t.Errorf("final = %d", cur)
+	}
+}
+
+func TestMemoryM2M(t *testing.T) {
+	m := NewMemory("m", []Value{1, 2}, WithM2M())
+	s := m.Init()
+	s, _ = m.Apply(s, Op{Kind: "swapm", A: 0, B: 1, C: None})
+	if s != "2,1" {
+		t.Errorf("after swapm: %q", s)
+	}
+	s, _ = m.Apply(s, Op{Kind: "move", A: 0, B: 1, C: None})
+	if s != "2,2" {
+		t.Errorf("after move: %q", s)
+	}
+}
+
+func TestMemoryAssign(t *testing.T) {
+	m := NewMemory("m", []Value{0, 0, 0}, WithAssignSets([]int{0, 2}))
+	s := m.Init()
+	s, _ = m.Apply(s, Op{Kind: "assign", A: 0, B: 7, C: None})
+	if s != "7,0,7" {
+		t.Errorf("after assign: %q", s)
+	}
+}
+
+func TestQueueModel(t *testing.T) {
+	q := NewQueue("q", []Value{5})
+	s := q.Init()
+	s, _ = q.Apply(s, Op{Kind: "enq", A: 6, B: None, C: None})
+	s, head := q.Apply(s, Op{Kind: "deq", A: None, B: None, C: None})
+	if head != 5 {
+		t.Errorf("deq = %d", head)
+	}
+	s, head = q.Apply(s, Op{Kind: "deq", A: None, B: None, C: None})
+	if head != 6 {
+		t.Errorf("deq = %d", head)
+	}
+	_, head = q.Apply(s, Op{Kind: "deq", A: None, B: None, C: None})
+	if head != None {
+		t.Errorf("empty deq = %d", head)
+	}
+}
+
+func TestAugmentedQueueModel(t *testing.T) {
+	q := NewAugmentedQueue("q", nil)
+	s := q.Init()
+	if _, v := q.Apply(s, Op{Kind: "peek", A: None, B: None, C: None}); v != None {
+		t.Errorf("empty peek = %d", v)
+	}
+	s, _ = q.Apply(s, Op{Kind: "enq", A: 3, B: None, C: None})
+	s2, v := q.Apply(s, Op{Kind: "peek", A: None, B: None, C: None})
+	if v != 3 || s2 != s {
+		t.Errorf("peek = %d, state %q -> %q", v, s, s2)
+	}
+}
+
+func TestStackModel(t *testing.T) {
+	st := NewStack("s", nil)
+	s := st.Init()
+	s, _ = st.Apply(s, Op{Kind: "push", A: 1, B: None, C: None})
+	s, _ = st.Apply(s, Op{Kind: "push", A: 2, B: None, C: None})
+	_, top := st.Apply(s, Op{Kind: "pop", A: None, B: None, C: None})
+	if top != 2 {
+		t.Errorf("pop = %d", top)
+	}
+}
+
+func TestCompositeRouting(t *testing.T) {
+	q := NewQueue("q", nil)
+	m := NewMemory("m", []Value{0})
+	c := NewComposite("c", q, m)
+	s := c.Init()
+	s, _ = c.Apply(s, c.At(0, Op{Kind: "enq", A: 4, B: None, C: None}))
+	s, _ = c.Apply(s, c.At(1, Op{Kind: "write", A: 0, B: 8, C: None}))
+	_, v := c.Apply(s, c.At(0, Op{Kind: "deq", A: None, B: None, C: None}))
+	if v != 4 {
+		t.Errorf("routed deq = %d", v)
+	}
+	_, v = c.Apply(s, c.At(1, Op{Kind: "read", A: 0, B: None, C: None}))
+	if v != 8 {
+		t.Errorf("routed read = %d", v)
+	}
+}
+
+func TestChannelsModel(t *testing.T) {
+	ch := NewChannels("ch", 2)
+	s := ch.Init()
+	if _, v := ch.Apply(s, ch.Recv(1, 0)); v != None {
+		t.Errorf("empty recv = %d", v)
+	}
+	s, _ = ch.Apply(s, ch.Send(0, 1, 7))
+	s, _ = ch.Apply(s, ch.Send(0, 1, 8))
+	s, v := ch.Apply(s, ch.Recv(1, 0))
+	if v != 7 {
+		t.Errorf("recv = %d (FIFO)", v)
+	}
+	// Direction matters: nothing flows 1 -> 0.
+	if _, v := ch.Apply(s, ch.Recv(0, 1)); v != None {
+		t.Errorf("reverse recv = %d", v)
+	}
+}
+
+func TestBroadcastModel(t *testing.T) {
+	bc := NewBroadcast("bc", 2)
+	s := bc.Init()
+	s, _ = bc.Apply(s, bc.Bcast(0, 5))
+	s, _ = bc.Apply(s, bc.Bcast(1, 6))
+	// Both receivers see the same total order.
+	s, v0 := bc.Apply(s, bc.Brecv(0))
+	s, v1 := bc.Apply(s, bc.Brecv(1))
+	if v0 != 5 || v1 != 5 {
+		t.Errorf("first deliveries = %d, %d (must agree)", v0, v1)
+	}
+	s, v0 = bc.Apply(s, bc.Brecv(0))
+	if v0 != 6 {
+		t.Errorf("second delivery = %d", v0)
+	}
+	_, v0 = bc.Apply(s, bc.Brecv(0))
+	if v0 != None {
+		t.Errorf("exhausted recv = %d", v0)
+	}
+}
+
+func TestMachineEncoding(t *testing.T) {
+	m := &Machine{
+		ProtoName: "toy",
+		N:         1,
+		StartVars: func(pid int, input Value) []Value { return []Value{input} },
+		OnStep: func(pid, pc int, v []Value) Action {
+			if pc == 0 {
+				return Invoke(Op{Kind: "read", A: 0, B: None, C: None})
+			}
+			return Decide(v[0])
+		},
+		OnResp: func(pid, pc int, v []Value, resp Value) (int, []Value) {
+			return pc + 1, v
+		},
+	}
+	local := m.Init(0, 9)
+	act := m.Step(0, local)
+	if act.Kind != ActInvoke || act.Op.Kind != "read" {
+		t.Fatalf("step 0 = %+v", act)
+	}
+	local = m.Next(0, local, 0)
+	act = m.Step(0, local)
+	if act.Kind != ActDecide || act.Dec != 9 {
+		t.Fatalf("step 1 = %+v", act)
+	}
+}
+
+func TestMemoryOpsMenu(t *testing.T) {
+	m := NewMemory("m", []Value{0, 0}, WithRMW(TestAndSet), WithM2M(),
+		WithAssignSets([]int{0, 1}))
+	ops := m.Ops(2, 0)
+	kinds := make(map[string]int)
+	for _, op := range ops {
+		kinds[op.Kind]++
+	}
+	if kinds["read"] != 2 || kinds["write"] != 4 {
+		t.Errorf("rw menu: %v", kinds)
+	}
+	if kinds["rmw"] != 2 || kinds["move"] != 2 || kinds["swapm"] != 2 || kinds["assign"] != 2 {
+		t.Errorf("extended menu: %v", kinds)
+	}
+}
+
+func TestRestrictFiltersMenu(t *testing.T) {
+	m := NewMemory("m", []Value{0, 0})
+	r := Restrict(m, func(n, pid int, op Op) bool {
+		return op.Kind != "write" || int(op.A) == pid
+	})
+	for pid := 0; pid < 2; pid++ {
+		for _, op := range r.Ops(2, pid) {
+			if op.Kind == "write" && int(op.A) != pid {
+				t.Errorf("pid %d: foreign write %s survived the filter", pid, op)
+			}
+		}
+	}
+	// Semantics are untouched: Apply still works on filtered-out ops.
+	s, _ := r.Apply(r.Init(), Op{Kind: "write", A: 1, B: 9, C: None})
+	if _, v := r.Apply(s, Op{Kind: "read", A: 1, B: None, C: None}); v != 9 {
+		t.Errorf("restricted Apply broken: read = %d", v)
+	}
+}

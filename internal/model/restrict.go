@@ -1,0 +1,29 @@
+package model
+
+// Restricted filters the synthesizer's operation menu of an object without
+// changing its semantics. It models architectural constraints — for example
+// "each process owns one announce register that others may only read" — and
+// keeps bounded protocol searches tractable; the checker is unaffected
+// because protocols invoke operations directly.
+type Restricted struct {
+	Object
+	// Keep reports whether op should remain on pid's menu in an n-process
+	// system.
+	Keep func(n, pid int, op Op) bool
+}
+
+// Restrict wraps obj with a menu filter.
+func Restrict(obj Object, keep func(n, pid int, op Op) bool) *Restricted {
+	return &Restricted{Object: obj, Keep: keep}
+}
+
+// Ops implements Object.
+func (r *Restricted) Ops(n, pid int) []Op {
+	var out []Op
+	for _, op := range r.Object.Ops(n, pid) {
+		if r.Keep(n, pid, op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}

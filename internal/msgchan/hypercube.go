@@ -1,0 +1,135 @@
+package msgchan
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Hypercube simulates the message-passing architecture of Section 3.3's
+// impossibility discussion (after the Cosmic Cube and Connection Machine
+// citations): 2^dim nodes, a FIFO link between nodes differing in one
+// address bit, and deterministic dimension-order routing. All inter-node
+// communication reduces to the shared FIFO queues of the links — which is
+// precisely why, by Theorem 11, such an architecture cannot solve
+// three-process wait-free consensus or implement any object that can.
+type Hypercube struct {
+	dim int
+	n   int
+
+	mu    sync.Mutex
+	links map[[2]int][]packet // FIFO per directed link
+	boxes [][]int64           // delivered messages per node
+}
+
+type packet struct {
+	src, dst int
+	payload  int64
+}
+
+// NewHypercube builds a hypercube with 2^dim nodes.
+func NewHypercube(dim int) *Hypercube {
+	h := &Hypercube{
+		dim:   dim,
+		n:     1 << dim,
+		links: make(map[[2]int][]packet),
+		boxes: make([][]int64, 1<<dim),
+	}
+	return h
+}
+
+// Nodes returns the node count.
+func (h *Hypercube) Nodes() int { return h.n }
+
+// route returns the next hop from cur toward dst: fix the lowest differing
+// address bit (dimension-order routing, deadlock-free).
+func (h *Hypercube) route(cur, dst int) int {
+	diff := cur ^ dst
+	if diff == 0 {
+		return cur
+	}
+	return cur ^ (diff & -diff)
+}
+
+// Send injects a message from src toward dst onto src's first outgoing
+// link.
+func (h *Hypercube) Send(src, dst int, payload int64) {
+	if src == dst {
+		h.mu.Lock()
+		h.boxes[dst] = append(h.boxes[dst], payload)
+		h.mu.Unlock()
+		return
+	}
+	next := h.route(src, dst)
+	h.mu.Lock()
+	key := [2]int{src, next}
+	h.links[key] = append(h.links[key], packet{src: src, dst: dst, payload: payload})
+	h.mu.Unlock()
+}
+
+// Step advances the fabric one hop-cycle: each directed link delivers its
+// head packet to the neighbor, which either accepts it (destination
+// reached) or forwards it onto its next link. It returns the number of
+// packets moved; zero means the fabric is quiescent.
+func (h *Hypercube) Step() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	moved := 0
+	// Collect heads first so a packet moves at most one hop per Step.
+	type hop struct {
+		key [2]int
+		p   packet
+	}
+	var hops []hop
+	for key, q := range h.links {
+		if len(q) > 0 {
+			hops = append(hops, hop{key: key, p: q[0]})
+		}
+	}
+	for _, hp := range hops {
+		q := h.links[hp.key]
+		h.links[hp.key] = q[1:]
+		cur := hp.key[1]
+		if cur == hp.p.dst {
+			h.boxes[cur] = append(h.boxes[cur], hp.p.payload)
+		} else {
+			next := h.route(cur, hp.p.dst)
+			nk := [2]int{cur, next}
+			h.links[nk] = append(h.links[nk], hp.p)
+		}
+		moved++
+	}
+	return moved
+}
+
+// Run steps the fabric until quiescent (or the hop budget runs out),
+// returning the number of cycles taken.
+func (h *Hypercube) Run(budget int) int {
+	for c := 1; c <= budget; c++ {
+		if h.Step() == 0 {
+			return c
+		}
+	}
+	return budget
+}
+
+// Recv pops the next delivered message at node, or NoMessage.
+func (h *Hypercube) Recv(node int) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.boxes[node]) == 0 {
+		return NoMessage
+	}
+	v := h.boxes[node][0]
+	h.boxes[node] = h.boxes[node][1:]
+	return v
+}
+
+// Distance returns the hop distance between two nodes (Hamming distance of
+// their addresses).
+func (h *Hypercube) Distance(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// String renders the topology size.
+func (h *Hypercube) String() string {
+	return fmt.Sprintf("hypercube(dim=%d, nodes=%d)", h.dim, h.n)
+}

@@ -1,0 +1,122 @@
+package msgchan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHypercubeRouting(t *testing.T) {
+	h := NewHypercube(3)
+	if h.Nodes() != 8 {
+		t.Fatalf("nodes = %d", h.Nodes())
+	}
+	h.Send(0, 7, 42) // distance 3: three hops
+	cycles := h.Run(100)
+	if cycles > 4 {
+		t.Errorf("delivery took %d cycles, want <= hop distance + 1", cycles)
+	}
+	if got := h.Recv(7); got != 42 {
+		t.Fatalf("recv = %d", got)
+	}
+	if got := h.Recv(7); got != NoMessage {
+		t.Fatalf("second recv = %d", got)
+	}
+}
+
+func TestHypercubeSelfSend(t *testing.T) {
+	h := NewHypercube(2)
+	h.Send(1, 1, 9)
+	if got := h.Recv(1); got != 9 {
+		t.Fatalf("self-send recv = %d", got)
+	}
+}
+
+// TestHypercubeFIFOPerPath: two messages between the same endpoints arrive
+// in order (links are FIFO queues and routing is deterministic).
+func TestHypercubeFIFOPerPath(t *testing.T) {
+	h := NewHypercube(4)
+	for i := int64(0); i < 10; i++ {
+		h.Send(3, 12, i)
+	}
+	h.Run(1000)
+	for i := int64(0); i < 10; i++ {
+		if got := h.Recv(12); got != i {
+			t.Fatalf("position %d: recv = %d (FIFO violated)", i, got)
+		}
+	}
+}
+
+// TestHypercubeAllPairs: every pair of nodes can exchange messages, and
+// delivery time tracks the Hamming distance.
+func TestHypercubeAllPairs(t *testing.T) {
+	h := NewHypercube(3)
+	n := h.Nodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			h.Send(a, b, int64(a*100+b))
+		}
+	}
+	h.Run(10_000)
+	for b := 0; b < n; b++ {
+		got := make(map[int64]bool)
+		for {
+			v := h.Recv(b)
+			if v == NoMessage {
+				break
+			}
+			got[v] = true
+		}
+		if len(got) != n {
+			t.Fatalf("node %d received %d messages, want %d", b, len(got), n)
+		}
+		for a := 0; a < n; a++ {
+			if !got[int64(a*100+b)] {
+				t.Fatalf("node %d missing message from %d", b, a)
+			}
+		}
+	}
+}
+
+// TestHypercubeConservation: random traffic neither loses nor duplicates
+// messages.
+func TestHypercubeConservation(t *testing.T) {
+	h := NewHypercube(4)
+	rng := rand.New(rand.NewSource(5))
+	sent := make(map[int][]int64)
+	for i := 0; i < 500; i++ {
+		a, b := rng.Intn(h.Nodes()), rng.Intn(h.Nodes())
+		v := int64(i)
+		h.Send(a, b, v)
+		sent[b] = append(sent[b], v)
+	}
+	h.Run(100_000)
+	for b := 0; b < h.Nodes(); b++ {
+		got := make(map[int64]bool)
+		for {
+			v := h.Recv(b)
+			if v == NoMessage {
+				break
+			}
+			if got[v] {
+				t.Fatalf("node %d: duplicate %d", b, v)
+			}
+			got[v] = true
+		}
+		if len(got) != len(sent[b]) {
+			t.Fatalf("node %d: received %d, want %d", b, len(got), len(sent[b]))
+		}
+	}
+}
+
+// TestHypercubeDistance pins the Hamming metric.
+func TestHypercubeDistance(t *testing.T) {
+	h := NewHypercube(4)
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 15, 4}, {5, 10, 4}, {3, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := h.Distance(tt.a, tt.b); got != tt.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package msgchan is the native message-passing substrate of Sections 3.1
+// and 3.3: point-to-point FIFO channels (the communication fabric of
+// hypercube-style architectures) and ordered broadcast.
+//
+// The paper's classification: point-to-point FIFO channels cannot solve
+// two-process wait-free consensus, and by Theorem 11 the shared FIFO queues
+// of message-passing architectures cannot solve three-process consensus —
+// so such architectures are not universal. Broadcast with totally-ordered
+// delivery, in contrast, solves n-process consensus for every n
+// (internal/protocols.BroadcastConsensus is the model-checked form;
+// Consensus below is the native form).
+package msgchan
+
+import (
+	"sync"
+)
+
+// NoMessage is returned by a receive on an empty channel; receives are
+// total (non-blocking), per Section 2.2.
+const NoMessage int64 = -1 << 62
+
+// P2P is an n-process matrix of point-to-point FIFO channels.
+type P2P struct {
+	mu    sync.Mutex
+	n     int
+	queue [][][]int64 // queue[from][to]
+}
+
+// NewP2P builds the channel matrix for n processes.
+func NewP2P(n int) *P2P {
+	q := make([][][]int64, n)
+	for i := range q {
+		q[i] = make([][]int64, n)
+	}
+	return &P2P{n: n, queue: q}
+}
+
+// Send appends v to the channel from -> to.
+func (c *P2P) Send(from, to int, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queue[from][to] = append(c.queue[from][to], v)
+}
+
+// Recv pops the head of the channel from -> at, or NoMessage.
+func (c *P2P) Recv(at, from int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.queue[from][at]
+	if len(q) == 0 {
+		return NoMessage
+	}
+	v := q[0]
+	c.queue[from][at] = q[1:]
+	return v
+}
+
+// Broadcast is ordered (atomic) broadcast: every process observes all
+// broadcast messages in one global total order, consuming them through its
+// own cursor.
+type Broadcast struct {
+	mu      sync.Mutex
+	log     []int64
+	cursors []int
+}
+
+// NewBroadcast builds an ordered-broadcast object for n processes.
+func NewBroadcast(n int) *Broadcast {
+	return &Broadcast{cursors: make([]int, n)}
+}
+
+// Send appends v to the global order.
+func (b *Broadcast) Send(v int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.log = append(b.log, v)
+}
+
+// Recv returns the next undelivered message for process at, or NoMessage.
+func (b *Broadcast) Recv(at int) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cursors[at] >= len(b.log) {
+		return NoMessage
+	}
+	v := b.log[b.cursors[at]]
+	b.cursors[at]++
+	return v
+}
+
+// Consensus is n-process consensus from ordered broadcast: broadcast your
+// input, decide the first message delivered. It satisfies the
+// consensus.Object contract and is wait-free (each Decide is one send and
+// one receive; the receive cannot miss because the caller's own broadcast
+// precedes it).
+type Consensus struct {
+	bc *Broadcast
+}
+
+// NewConsensus builds an n-process ordered-broadcast consensus object.
+func NewConsensus(n int) *Consensus {
+	return &Consensus{bc: NewBroadcast(n)}
+}
+
+// Decide implements consensus.Object.
+func (c *Consensus) Decide(pid int, input int64) int64 {
+	c.bc.Send(input)
+	v := c.bc.Recv(pid)
+	if v == NoMessage {
+		panic("msgchan: broadcast consensus missed its own message")
+	}
+	return v
+}

@@ -1,0 +1,78 @@
+package msgchan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestP2PFIFO(t *testing.T) {
+	c := NewP2P(3)
+	if got := c.Recv(1, 0); got != NoMessage {
+		t.Fatalf("empty recv = %d", got)
+	}
+	c.Send(0, 1, 10)
+	c.Send(0, 1, 11)
+	c.Send(2, 1, 99)
+	if got := c.Recv(1, 0); got != 10 {
+		t.Errorf("recv = %d (FIFO per channel)", got)
+	}
+	if got := c.Recv(1, 2); got != 99 {
+		t.Errorf("cross-channel recv = %d", got)
+	}
+	if got := c.Recv(1, 0); got != 11 {
+		t.Errorf("recv = %d", got)
+	}
+	if got := c.Recv(0, 1); got != NoMessage {
+		t.Errorf("reverse direction recv = %d", got)
+	}
+}
+
+func TestBroadcastTotalOrder(t *testing.T) {
+	b := NewBroadcast(3)
+	b.Send(1)
+	b.Send(2)
+	b.Send(3)
+	for p := 0; p < 3; p++ {
+		for want := int64(1); want <= 3; want++ {
+			if got := b.Recv(p); got != want {
+				t.Fatalf("P%d delivery = %d, want %d (total order)", p, got, want)
+			}
+		}
+		if got := b.Recv(p); got != NoMessage {
+			t.Fatalf("P%d exhausted recv = %d", p, got)
+		}
+	}
+}
+
+// TestBroadcastConsensusStress: the native ordered-broadcast consensus
+// agrees under concurrency and crashes, for several n.
+func TestBroadcastConsensusStress(t *testing.T) {
+	for _, n := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for trial := 0; trial < 100; trial++ {
+				obj := NewConsensus(n)
+				live := trial%n + 1 // 1..n participants
+				results := make([]int64, live)
+				var wg sync.WaitGroup
+				for p := 0; p < live; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						results[p] = obj.Decide(p, int64(100+p))
+					}()
+				}
+				wg.Wait()
+				for p := 1; p < live; p++ {
+					if results[p] != results[0] {
+						t.Fatalf("trial %d: disagreement %d vs %d", trial, results[0], results[p])
+					}
+				}
+				if results[0] < 100 || results[0] >= int64(100+live) {
+					t.Fatalf("trial %d: decided %d, not a participant input", trial, results[0])
+				}
+			}
+		})
+	}
+}

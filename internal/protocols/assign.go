@@ -1,0 +1,159 @@
+package protocols
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+)
+
+// pairIndex maps an unordered pair {x, y} (x != y, both < n) to a dense
+// index in [0, n(n-1)/2).
+func pairIndex(n, x, y int) int {
+	if x > y {
+		x, y = y, x
+	}
+	// index = sum_{i<x}(n-1-i) + (y-x-1)
+	return x*(2*n-x-1)/2 + (y - x - 1)
+}
+
+// Assign is the Theorem 19 protocol: n-process consensus from atomic
+// n-register assignment. Each process Pi atomically assigns its id to one
+// private register priv[i] and the n-1 registers pair{i,j} it shares with
+// every other process. Because the assignments are atomic and each pairwise
+// register is written at most once per process, the final value of pair{x,y}
+// — once both x and y have assigned — is the id of the *later* of the two.
+//
+// After assigning, Pi fixes the set A of processes whose private registers
+// are non-empty (all of which therefore assigned before Pi's scan), and
+// elects the unique member of A that loses no pairwise comparison within A:
+// the globally earliest assigner, which is the same for every scanner.
+//
+// Layout: registers 0..n-1 announce inputs; registers n..2n-1 are the
+// private registers; registers 2n.. are the pairwise registers in pairIndex
+// order. Assignment set i covers priv[i] and all of Pi's pairwise registers
+// — exactly n registers, as Theorem 19 requires.
+func Assign(n int) Instance {
+	pairs := n * (n - 1) / 2
+	init := make([]model.Value, 2*n+pairs)
+	for i := range init {
+		init[i] = model.None
+	}
+	sets := make([][]int, n)
+	for i := 0; i < n; i++ {
+		set := []int{n + i}
+		for j := 0; j < n; j++ {
+			if j != i {
+				set = append(set, 2*n+pairIndex(n, i, j))
+			}
+		}
+		sets[i] = set
+	}
+	mem := model.NewMemory("assign-memory", init, model.WithAssignSets(sets...))
+
+	const (
+		pcAnnounce = iota
+		pcAssign
+		pcScanA      // reading priv[vars[2]] to build membership mask vars[1]
+		pcCheckPair  // reading pair{vars[3], vars[4]}
+		pcReadWinner // reading announce[vars[3]]
+		pcDecide
+	)
+	// vars: [input, Amask, scanK, candidate, probe, winnerInput]
+
+	// nextProbe advances vars[4] to the next member of A other than the
+	// candidate, returning false when the candidate has survived all probes.
+	nextProbe := func(v []model.Value, n int) bool {
+		for {
+			v[4]++
+			if int(v[4]) >= n {
+				return false
+			}
+			if v[4] != v[3] && v[1]&(1<<uint(v[4])) != 0 {
+				return true
+			}
+		}
+	}
+	// nextCandidate advances vars[3] to the next member of A and resets the
+	// probe; the protocol invariant guarantees a winner exists, so running
+	// out of candidates is a model bug.
+	nextCandidate := func(v []model.Value, n int) {
+		for {
+			v[3]++
+			if int(v[3]) >= n {
+				panic("assign: no earliest assigner found; protocol invariant broken")
+			}
+			if v[1]&(1<<uint(v[3])) != 0 {
+				v[4] = model.None
+				return
+			}
+		}
+	}
+
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("assign[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, 0, model.None, model.None, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(pid), v[0]))
+			case pcAssign:
+				return model.Invoke(opAssign(pid, model.Value(pid)))
+			case pcScanA:
+				return model.Invoke(opRead(model.Value(n) + v[2]))
+			case pcCheckPair:
+				return model.Invoke(opRead(model.Value(2*n + pairIndex(n, int(v[3]), int(v[4])))))
+			case pcReadWinner:
+				return model.Invoke(opRead(v[3]))
+			case pcDecide:
+				return model.Decide(v[5])
+			}
+			panic("assign: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcAssign, v
+			case pcAssign:
+				v[2] = 0
+				return pcScanA, v
+			case pcScanA:
+				if resp != model.None {
+					v[1] |= 1 << uint(v[2])
+				}
+				v[2]++
+				if int(v[2]) < n {
+					return pcScanA, v
+				}
+				// A fixed; start with the lowest member as candidate.
+				v[3] = model.None
+				nextCandidate(v, n)
+				if !nextProbe(v, n) {
+					return pcReadWinner, v // A = {candidate}
+				}
+				return pcCheckPair, v
+			case pcCheckPair:
+				if resp == v[3] {
+					// The candidate wrote pair{candidate,probe} last, so the
+					// probe assigned earlier: candidate is not the first.
+					nextCandidate(v, n)
+					if !nextProbe(v, n) {
+						return pcReadWinner, v
+					}
+					return pcCheckPair, v
+				}
+				if !nextProbe(v, n) {
+					return pcReadWinner, v // candidate survived every probe
+				}
+				return pcCheckPair, v
+			case pcReadWinner:
+				v[5] = resp
+				return pcDecide, v
+			}
+			panic("assign: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}

@@ -1,0 +1,257 @@
+package protocols
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+)
+
+// Assign2Phase is the Theorems 20/21 protocol: (2m-2)-process consensus from
+// atomic m-register assignment. The 2m-2 processes are split into two groups
+// of m-1.
+//
+// Phase 1: each group independently runs the Theorem 19 protocol among its
+// m-1 members, which needs only (m-1)-register assignment, and records the
+// group's agreed value in gres[group].
+//
+// Phase 2: each process atomically assigns its id to a phase-two private
+// register plus the m-1 registers it shares with the members of the *other*
+// group (m registers total). It then fixes the set A of processes whose
+// phase-two private registers are non-empty and elects a "source": a member
+// of A that loses no cross-group pairwise comparison within A. The earliest
+// phase-two assigner is a source and beats every other-group member, so all
+// sources lie in one group, and every scanner decides that group's value.
+func Assign2Phase(m int) Instance {
+	if m < 2 {
+		panic("protocols: Assign2Phase requires m >= 2")
+	}
+	g := m - 1 // group size
+	nProcs := 2 * g
+
+	// Register layout.
+	var (
+		offPriv1 = nProcs             // announce registers occupy 0..nProcs-1
+		offPair1 = 2 * nProcs         // g(g-1)/2 per group, two groups
+		offGres  = offPair1 + g*(g-1) // 2 registers
+		offPriv2 = offGres + 2        // nProcs registers
+		offPair2 = offPriv2 + nProcs  // g*g cross pairs
+		total    = offPair2 + g*g
+	)
+	init := make([]model.Value, total)
+	for i := range init {
+		init[i] = model.None
+	}
+
+	group := func(pid int) int {
+		if pid < g {
+			return 0
+		}
+		return 1
+	}
+	// pair1 returns the phase-1 register shared by same-group x and y.
+	pair1 := func(x, y int) int {
+		gi := group(x)
+		base := gi * g
+		return offPair1 + gi*(g*(g-1)/2) + pairIndex(g, x-base, y-base)
+	}
+	// pair2 returns the phase-2 register shared by cross-group x and y.
+	pair2 := func(x, y int) int {
+		if group(x) == 1 {
+			x, y = y, x
+		}
+		return offPair2 + x*g + (y - g)
+	}
+
+	sets1 := make([][]int, nProcs)
+	sets2 := make([][]int, nProcs)
+	for i := 0; i < nProcs; i++ {
+		s1 := []int{offPriv1 + i}
+		base := group(i) * g
+		for j := base; j < base+g; j++ {
+			if j != i {
+				s1 = append(s1, pair1(i, j))
+			}
+		}
+		sets1[i] = s1
+		s2 := []int{offPriv2 + i}
+		otherBase := (1 - group(i)) * g
+		for j := otherBase; j < otherBase+g; j++ {
+			s2 = append(s2, pair2(i, j))
+		}
+		sets2[i] = s2
+		if len(s1) > m || len(s2) > m {
+			panic("protocols: Assign2Phase register sets exceed assignment width")
+		}
+	}
+	allSets := append(append([][]int(nil), sets1...), sets2...)
+	mem := model.NewMemory("assign2-memory", init, model.WithAssignSets(allSets...))
+
+	const (
+		pcAnnounce = iota
+		pcAssign1
+		pcScanA1
+		pcCheckPair1
+		pcReadGroupVal
+		pcWriteGres
+		pcAssign2
+		pcScanA2
+		pcCheckPair2
+		pcReadGres
+		pcDecide
+	)
+	// vars: [input, mask, scanK, cand, probe, groupVal]
+
+	// advanceProbe moves vars[4] to the next pid >= vars[4]+1 that is in the
+	// candidate's probe set (mask members, restricted by sameGroup) and is
+	// not the candidate; it returns false if none remains.
+	advanceProbe := func(v []model.Value, sameGroup bool) bool {
+		for {
+			v[4]++
+			if int(v[4]) >= nProcs {
+				return false
+			}
+			j := int(v[4])
+			if j == int(v[3]) || v[1]&(1<<uint(j)) == 0 {
+				continue
+			}
+			if sameGroup != (group(j) == group(int(v[3]))) {
+				continue
+			}
+			return true
+		}
+	}
+	// advanceCandidate moves vars[3] to the next member of the mask,
+	// optionally restricted to the given group (-1 for any), and resets the
+	// probe.
+	advanceCandidate := func(v []model.Value, onlyGroup int) {
+		for {
+			v[3]++
+			if int(v[3]) >= nProcs {
+				panic("assign2: no candidate survived; protocol invariant broken")
+			}
+			j := int(v[3])
+			if v[1]&(1<<uint(j)) == 0 {
+				continue
+			}
+			if onlyGroup >= 0 && group(j) != onlyGroup {
+				continue
+			}
+			v[4] = model.None
+			return
+		}
+	}
+
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("assign2phase[m=%d,n=%d]", m, nProcs),
+		N:         nProcs,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, 0, model.None, model.None, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(pid), v[0]))
+			case pcAssign1:
+				return model.Invoke(opAssign(pid, model.Value(pid)))
+			case pcScanA1:
+				return model.Invoke(opRead(model.Value(offPriv1) + v[2]))
+			case pcCheckPair1:
+				return model.Invoke(opRead(model.Value(pair1(int(v[3]), int(v[4])))))
+			case pcReadGroupVal:
+				return model.Invoke(opRead(v[3]))
+			case pcWriteGres:
+				return model.Invoke(opWrite(model.Value(offGres+group(pid)), v[5]))
+			case pcAssign2:
+				return model.Invoke(opAssign(nProcs+pid, model.Value(pid)))
+			case pcScanA2:
+				return model.Invoke(opRead(model.Value(offPriv2) + v[2]))
+			case pcCheckPair2:
+				return model.Invoke(opRead(model.Value(pair2(int(v[3]), int(v[4])))))
+			case pcReadGres:
+				return model.Invoke(opRead(model.Value(offGres + group(int(v[3])))))
+			case pcDecide:
+				return model.Decide(v[5])
+			}
+			panic("assign2: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			myGroup := group(pid)
+			switch pc {
+			case pcAnnounce:
+				return pcAssign1, v
+			case pcAssign1:
+				v[1] = 0
+				v[2] = model.Value(myGroup * g) // scan own group's privates
+				return pcScanA1, v
+			case pcScanA1:
+				if resp != model.None {
+					v[1] |= 1 << uint(v[2])
+				}
+				v[2]++
+				if int(v[2]) < myGroup*g+g {
+					return pcScanA1, v
+				}
+				v[3] = model.None
+				advanceCandidate(v, myGroup)
+				if !advanceProbe(v, true) {
+					return pcReadGroupVal, v
+				}
+				return pcCheckPair1, v
+			case pcCheckPair1:
+				if resp == v[3] {
+					advanceCandidate(v, myGroup)
+					if !advanceProbe(v, true) {
+						return pcReadGroupVal, v
+					}
+					return pcCheckPair1, v
+				}
+				if !advanceProbe(v, true) {
+					return pcReadGroupVal, v
+				}
+				return pcCheckPair1, v
+			case pcReadGroupVal:
+				v[5] = resp // the group's phase-1 value
+				return pcWriteGres, v
+			case pcWriteGres:
+				return pcAssign2, v
+			case pcAssign2:
+				v[1] = 0
+				v[2] = 0 // scan all phase-2 privates
+				return pcScanA2, v
+			case pcScanA2:
+				if resp != model.None {
+					v[1] |= 1 << uint(v[2])
+				}
+				v[2]++
+				if int(v[2]) < nProcs {
+					return pcScanA2, v
+				}
+				v[3] = model.None
+				advanceCandidate(v, -1)
+				if !advanceProbe(v, false) {
+					return pcReadGres, v // no other-group member assigned
+				}
+				return pcCheckPair2, v
+			case pcCheckPair2:
+				if resp == v[3] {
+					// The candidate's cross-assignment followed the probe's:
+					// the probe's group may precede; try the next candidate.
+					advanceCandidate(v, -1)
+					if !advanceProbe(v, false) {
+						return pcReadGres, v
+					}
+					return pcCheckPair2, v
+				}
+				if !advanceProbe(v, false) {
+					return pcReadGres, v // candidate is a source
+				}
+				return pcCheckPair2, v
+			case pcReadGres:
+				v[5] = resp
+				return pcDecide, v
+			}
+			panic("assign2: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}

@@ -1,0 +1,48 @@
+package protocols
+
+import (
+	"testing"
+
+	"waitfree/internal/check"
+)
+
+// The 4-process (m=3) two-phase assignment protocol has an interleaving
+// space beyond exhaustive reach (the m=2 case is verified exhaustively in
+// TestAssign2Phase). Here the model-world fuzzer samples thousands of random
+// schedules, input permutations, and crash subsets instead; the native
+// stress tests in internal/consensus cover the goroutine form.
+func TestAssign2PhaseM3Fuzz(t *testing.T) {
+	inst := Assign2Phase(3)
+	res := check.Fuzz(inst.Proto, inst.Obj, 4000, 1, check.Options{})
+	if !res.OK {
+		t.Fatalf("%s: %v", inst.Proto.Name(), res.Violation)
+	}
+	t.Logf("%s: steps=%d maxsteps=%d decisions=%v",
+		inst.Proto.Name(), res.Configs, res.MaxSteps, res.Decisions)
+}
+
+// TestLargerProtocolsFuzz samples schedules for every n-process protocol at
+// sizes beyond the exhaustive checker's reach.
+func TestLargerProtocolsFuzz(t *testing.T) {
+	tests := []struct {
+		name string
+		inst Instance
+	}{
+		{name: "cas-6", inst: CAS(6)},
+		{name: "augqueue-6", inst: AugQueue(6)},
+		{name: "move-5", inst: Move(5)},
+		{name: "memswap-6", inst: MemSwap(6)},
+		{name: "assign-5", inst: Assign(5)},
+		{name: "assign2phase-m4", inst: Assign2Phase(4)}, // 6 processes
+		{name: "broadcast-6", inst: BroadcastConsensus(6)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := check.Fuzz(tt.inst.Proto, tt.inst.Obj, 1500, 7, check.Options{})
+			if !res.OK {
+				t.Fatalf("%v", res.Violation)
+			}
+			t.Logf("maxsteps=%d decisions=%v", res.MaxSteps, res.Decisions)
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package protocols
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+)
+
+// BroadcastConsensus is the ordered-broadcast protocol referenced in Section
+// 3.1 (via Dolev, Dwork and Stockmeyer): with broadcast and totally-ordered
+// delivery, n-process consensus is immediate. Every process broadcasts its
+// input and decides the first message in the global delivery order; its own
+// broadcast precedes its receive, so the log is never empty when it reads.
+func BroadcastConsensus(n int) Instance {
+	bc := model.NewBroadcast("broadcast", n)
+	const (
+		pcBcast = iota
+		pcRecv
+		pcDecide
+	)
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("broadcast[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcBcast:
+				return model.Invoke(bc.Bcast(pid, v[0]))
+			case pcRecv:
+				return model.Invoke(bc.Brecv(pid))
+			case pcDecide:
+				return model.Decide(v[1])
+			}
+			panic("broadcast: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcBcast:
+				return pcRecv, v
+			case pcRecv:
+				v[1] = resp
+				return pcDecide, v
+			}
+			panic("broadcast: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: bc}
+}

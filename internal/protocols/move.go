@@ -1,0 +1,188 @@
+package protocols
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+)
+
+// Move is the Theorem 15 protocol: n-process consensus from atomic
+// memory-to-memory move. It iterates the paper's two-process move protocol:
+// process Pi (1-based i = pid+1) owns "round" i, played on the register pair
+// (r[i,1], r[i,2]) initialized to (i, i-1):
+//
+//  1. Pi performs move(r[i,1] -> r[i,2]). Round i is won by Pi exactly when
+//     r[i,2] ends up holding i, i.e. when no lower-numbered process "spoiled"
+//     r[i,1] first.
+//  2. Pi spoils every higher round j = i+1..n by writing r[j,1] := j-1, in
+//     ascending order.
+//  3. Pi scans rounds n..1 and decides the announced input of the
+//     highest-numbered round winner.
+//
+// A scan always finds a winner: round 1 cannot be spoiled, and the ascending
+// spoil order guarantees that once a scanner passes a round unwon, that round
+// can no longer be won ahead of an already-observed winner.
+//
+// Layout: registers 0..n-1 announce inputs; registers n+2(j-1), n+2(j-1)+1
+// are r[j,1], r[j,2] for round j = 1..n.
+func Move(n int) Instance {
+	init := make([]model.Value, n+2*n)
+	for i := 0; i < n; i++ {
+		init[i] = model.None // announce
+	}
+	for j := 1; j <= n; j++ {
+		init[n+2*(j-1)] = model.Value(j)       // r[j,1]
+		init[n+2*(j-1)+1] = model.Value(j - 1) // r[j,2]
+	}
+	mem := model.NewMemory("move-memory", init, model.WithM2M())
+
+	r1 := func(j model.Value) model.Value { return model.Value(n) + 2*(j-1) }
+	r2 := func(j model.Value) model.Value { return model.Value(n) + 2*(j-1) + 1 }
+
+	const (
+		pcAnnounce = iota
+		pcMove
+		pcSpoil      // writing r[j,1] := j-1 for j = vars[1]
+		pcScan       // reading r[k,2] for k = vars[2]
+		pcReadWinner // reading announce[vars[3]-1]
+		pcDecide
+	)
+	// vars: [input, spoilJ, scanK, winnerRound, winnerInput]
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("move[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			i := model.Value(pid + 1)
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(pid), v[0]))
+			case pcMove:
+				return model.Invoke(opMove(r1(i), r2(i)))
+			case pcSpoil:
+				return model.Invoke(opWrite(r1(v[1]), v[1]-1))
+			case pcScan:
+				return model.Invoke(opRead(r2(v[2])))
+			case pcReadWinner:
+				return model.Invoke(opRead(v[3] - 1))
+			case pcDecide:
+				return model.Decide(v[4])
+			}
+			panic("move: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			i := pid + 1
+			switch pc {
+			case pcAnnounce:
+				if i+1 <= n {
+					v[1] = model.Value(i + 1)
+					return pcMove, v
+				}
+				return pcMove, v
+			case pcMove:
+				if i+1 <= n {
+					v[1] = model.Value(i + 1)
+					return pcSpoil, v
+				}
+				v[2] = model.Value(n)
+				return pcScan, v
+			case pcSpoil:
+				v[1]++
+				if int(v[1]) <= n {
+					return pcSpoil, v
+				}
+				v[2] = model.Value(n)
+				return pcScan, v
+			case pcScan:
+				if resp == v[2] { // round v[2] won by P(v[2])
+					v[3] = v[2]
+					return pcReadWinner, v
+				}
+				v[2]--
+				if v[2] >= 1 {
+					return pcScan, v
+				}
+				panic("move: scan found no round winner; protocol invariant broken")
+			case pcReadWinner:
+				v[4] = resp
+				return pcDecide, v
+			}
+			panic("move: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}
+
+// MemSwap is the Theorem 16 protocol: n-process consensus from atomic
+// memory-to-memory swap. Shared registers p[0..n-1] are initialized to 0 and
+// a register r to 1; each process swaps p[pid] with r. Exactly the first
+// swapper captures the 1, and every later scan finds it.
+//
+// Layout: registers 0..n-1 announce inputs; registers n..2n-1 are p[0..n-1];
+// register 2n is r.
+func MemSwap(n int) Instance {
+	init := make([]model.Value, 2*n+1)
+	for i := 0; i < n; i++ {
+		init[i] = model.None // announce
+		init[n+i] = 0        // p[i]
+	}
+	init[2*n] = 1 // r
+	mem := model.NewMemory("swap-memory", init, model.WithM2M())
+
+	const (
+		pcAnnounce = iota
+		pcSwap
+		pcScan       // reading p[vars[1]]
+		pcReadWinner // reading announce[vars[2]]
+		pcDecide
+	)
+	// vars: [input, scanK, winnerPid, winnerInput]
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("memswap[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(pid), v[0]))
+			case pcSwap:
+				return model.Invoke(opSwapM(model.Value(n+pid), model.Value(2*n)))
+			case pcScan:
+				return model.Invoke(opRead(model.Value(n) + v[1]))
+			case pcReadWinner:
+				return model.Invoke(opRead(v[2]))
+			case pcDecide:
+				return model.Decide(v[3])
+			}
+			panic("memswap: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcSwap, v
+			case pcSwap:
+				v[1] = 0
+				return pcScan, v
+			case pcScan:
+				if resp == 1 { // p[v[1]] holds the token: P(v[1]) swapped first
+					v[2] = v[1]
+					return pcReadWinner, v
+				}
+				v[1]++
+				if int(v[1]) < n {
+					return pcScan, v
+				}
+				panic("memswap: scan found no token; protocol invariant broken")
+			case pcReadWinner:
+				v[3] = resp
+				return pcDecide, v
+			}
+			panic("memswap: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}

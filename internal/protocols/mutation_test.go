@@ -1,0 +1,145 @@
+package protocols
+
+import (
+	"testing"
+
+	"waitfree/internal/check"
+	"waitfree/internal/model"
+)
+
+// Mutation tests: each takes a correct protocol, breaks it the way the
+// paper's proofs say matters, and demands that the exhaustive checker
+// refute it. A checker that accepts these mutants would be vacuous.
+
+// brokenMoveDescendingSpoil is the Theorem 15 protocol with the spoil loop
+// writing rounds in DESCENDING order (n down to i+1) instead of ascending.
+// The ascending order is load-bearing: it guarantees that by the time a
+// round can be spoiled, every lower round's fate is already sealed, so a
+// scanner that passes a round unwon can never be overtaken.
+func brokenMoveDescendingSpoil(n int) Instance {
+	inst := Move(n)
+	m := inst.Proto.(*model.Machine)
+	origStep := m.OnStep
+	r1 := func(j model.Value) model.Value { return model.Value(n) + 2*(j-1) }
+	m.OnStep = func(pid, pc int, v []model.Value) model.Action {
+		const pcSpoil = 2
+		if pc == pcSpoil {
+			// v[1] still walks i+1..n; mirror it so the write targets walk
+			// n..i+1.
+			lo, hi := model.Value(pid+2), model.Value(n)
+			j := lo + (hi - v[1])
+			return model.Invoke(model.Op{Kind: "write", A: r1(j), B: j - 1, C: model.None})
+		}
+		return origStep(pid, pc, v)
+	}
+	return inst
+}
+
+// TestCheckerRefutesDescendingSpoil: the mutated Move must violate
+// agreement somewhere in the 3-process interleaving space.
+func TestCheckerRefutesDescendingSpoil(t *testing.T) {
+	inst := brokenMoveDescendingSpoil(3)
+	res := check.AllInputs(inst.Proto, inst.Obj, check.Options{})
+	if res.OK {
+		t.Fatal("checker accepted the descending-spoil mutant of Move")
+	}
+	t.Logf("refuted: %v", res.Violation.Kind)
+}
+
+// TestCheckerRefutesFlippedQueue2: mutate the Theorem 9 decision rule so
+// that dequeuing the SECOND marker also claims victory; both processes then
+// decide their own inputs and disagree.
+func TestCheckerRefutesFlippedQueue2(t *testing.T) {
+	inst := Queue2()
+	m := inst.Proto.(*model.Machine)
+	origStep := m.OnStep
+	m.OnStep = func(pid, pc int, v []model.Value) model.Action {
+		const pcAfterDeq = 2
+		if pc == pcAfterDeq && v[1] == 1 {
+			return model.Decide(v[0]) // mutant: "second" wins too
+		}
+		return origStep(pid, pc, v)
+	}
+	res := check.AllInputs(inst.Proto, inst.Obj, check.Options{})
+	if res.OK {
+		t.Fatal("checker accepted the flipped queue2 mutant")
+	}
+	if res.Violation.Kind != check.ViolationAgreement {
+		t.Fatalf("expected agreement violation, got %v", res.Violation.Kind)
+	}
+}
+
+// TestCheckerRefutesSkippedAnnounce: replace the CAS protocol's announce
+// write with a harmless read; the loser then decides the winner's
+// never-announced input placeholder — a validity violation.
+func TestCheckerRefutesSkippedAnnounce(t *testing.T) {
+	inst := CAS(2)
+	m := inst.Proto.(*model.Machine)
+	origStep := m.OnStep
+	m.OnStep = func(pid, pc int, v []model.Value) model.Action {
+		if pc == 0 {
+			return model.Invoke(model.Op{Kind: "read", A: model.Value(1 + pid), B: model.None, C: model.None})
+		}
+		return origStep(pid, pc, v)
+	}
+	res := check.AllInputs(inst.Proto, inst.Obj, check.Options{})
+	if res.OK {
+		t.Fatal("checker accepted the skipped-announce mutant")
+	}
+	t.Logf("refuted: %v", res.Violation.Kind)
+}
+
+// TestCheckerRefutesStaleAssignScan: the Theorem 19 protocol must restrict
+// its election to processes actually seen assigned. The mutant includes
+// everyone, turning unassigned processes into candidates whose pairwise
+// registers are still unset — the election derails.
+func TestCheckerRefutesStaleAssignScan(t *testing.T) {
+	inst := Assign(3)
+	m := inst.Proto.(*model.Machine)
+	origResp := m.OnResp
+	m.OnResp = func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+		const pcScanA = 2
+		if pc == pcScanA {
+			resp = 1 // mutant: pretend every scanned process has assigned
+		}
+		return origResp(pid, pc, v, resp)
+	}
+	res := check.AllInputs(inst.Proto, inst.Obj, check.Options{})
+	if res.OK {
+		t.Fatal("checker accepted the stale-scan mutant of Assign")
+	}
+	t.Logf("refuted: %v", res.Violation.Kind)
+}
+
+// TestCheckerRefutesSwappedPhases: the two-phase assignment protocol must
+// write its group result BEFORE the phase-2 assignment; a mutant that skips
+// the gres write decides a placeholder value.
+func TestCheckerRefutesSwappedPhases(t *testing.T) {
+	inst := Assign2Phase(2)
+	m := inst.Proto.(*model.Machine)
+	origStep := m.OnStep
+	m.OnStep = func(pid, pc int, v []model.Value) model.Action {
+		const pcWriteGres = 5
+		if pc == pcWriteGres {
+			// Mutant: write to a scratch location instead of gres.
+			return model.Invoke(model.Op{Kind: "write", A: model.Value(pid), B: v[5], C: model.None})
+		}
+		return origStep(pid, pc, v)
+	}
+	res := check.AllInputs(inst.Proto, inst.Obj, check.Options{})
+	if res.OK {
+		t.Fatal("checker accepted the skipped-gres mutant of Assign2Phase")
+	}
+	t.Logf("refuted: %v", res.Violation.Kind)
+}
+
+// TestFuzzAlsoRefutesMutants: the random-schedule fuzzer should catch the
+// louder mutants at larger n, where exhaustive checking is out of reach.
+func TestFuzzAlsoRefutesMutants(t *testing.T) {
+	inst := brokenMoveDescendingSpoil(5)
+	res := check.Fuzz(inst.Proto, inst.Obj, 5000, 3, check.Options{})
+	if res.OK {
+		t.Fatal("fuzzer missed the descending-spoil mutant at n=5 in 5000 schedules")
+	}
+	t.Logf("refuted by fuzz: %v", res.Violation.Kind)
+}

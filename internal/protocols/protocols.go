@@ -1,0 +1,305 @@
+// Package protocols contains model-world renderings of every wait-free
+// consensus protocol in Herlihy's PODC 1988 paper, one constructor per
+// positive theorem:
+//
+//	Theorem 4   RMW2        any non-trivial read-modify-write, 2 processes
+//	Theorem 7   CAS         compare-and-swap, n processes
+//	Theorem 9   Queue2      FIFO queue, 2 processes
+//	Theorem 12  AugQueue    augmented queue (peek), n processes
+//	Theorem 15  Move        memory-to-memory move, n processes
+//	Theorem 16  MemSwap     memory-to-memory swap, n processes
+//	Theorem 19  Assign      atomic m-register assignment, m processes
+//	Theorems 20/21 Assign2Phase  m-register assignment, 2m-2 processes
+//	Section 3.1 Broadcast   ordered broadcast, n processes
+//
+// Each constructor returns the protocol together with the shared object it
+// runs over, ready for internal/check to verify exhaustively. By the paper's
+// election convention, decision values are inputs, inputs are announced in
+// shared registers, and protocols internally elect a winning process id.
+package protocols
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+)
+
+// Instance pairs a protocol with the object it runs over.
+type Instance struct {
+	Proto model.Protocol
+	Obj   model.Object
+}
+
+// read/write/rmw op builders over a Memory-backed instance.
+func opRead(r model.Value) model.Op {
+	return model.Op{Kind: "read", A: r, B: model.None, C: model.None}
+}
+
+func opWrite(r, v model.Value) model.Op {
+	return model.Op{Kind: "write", A: r, B: v, C: model.None}
+}
+
+func opRMW(r, fn, operand model.Value) model.Op {
+	return model.Op{Kind: "rmw", A: r, B: fn, C: operand}
+}
+
+func opMove(src, dst model.Value) model.Op {
+	return model.Op{Kind: "move", A: src, B: dst, C: model.None}
+}
+
+func opSwapM(a, b model.Value) model.Op {
+	return model.Op{Kind: "swapm", A: a, B: b, C: model.None}
+}
+
+func opAssign(set int, v model.Value) model.Op {
+	return model.Op{Kind: "assign", A: model.Value(set), B: v, C: model.None}
+}
+
+// RMW2 is the Theorem 4 protocol: two-process consensus from a single
+// register supporting any non-trivial read-modify-write family f. The
+// register is initialized to init, a value with f(init) != init; the process
+// whose RMW is linearized first (observing init) wins.
+//
+// Layout: register 0 is the RMW register; registers 1..2 announce inputs.
+func RMW2(fn model.RMWFn, operandRow int, init model.Value) Instance {
+	row := fn.Operands[operandRow]
+	if fn.Apply(init, row[0], row[1]) == init {
+		panic(fmt.Sprintf("protocols: RMW2 requires a non-trivial f: f(%d)=%d", init, init))
+	}
+	mem := model.NewMemory("rmw["+fn.Name+"]", []model.Value{init, model.None, model.None},
+		model.WithRMW(fn))
+	const (
+		pcAnnounce = iota
+		pcRMW
+		pcAfterRMW
+		pcReadOther
+		pcDecideOther
+	)
+	proto := &model.Machine{
+		ProtoName: "rmw2[" + fn.Name + "]",
+		N:         2,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(1+pid), v[0]))
+			case pcRMW:
+				return model.Invoke(opRMW(0, 0, model.Value(operandRow)))
+			case pcAfterRMW:
+				if v[1] == init {
+					return model.Decide(v[0]) // my RMW was first: my input wins
+				}
+				return model.Invoke(opRead(model.Value(1 + (1 - pid))))
+			case pcDecideOther:
+				return model.Decide(v[2])
+			}
+			panic("rmw2: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcRMW, v
+			case pcRMW:
+				v[1] = resp
+				return pcAfterRMW, v
+			case pcAfterRMW: // the read of the other process's announcement
+				v[2] = resp
+				return pcDecideOther, v
+			}
+			panic("rmw2: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}
+
+// CAS is the Theorem 7 protocol: n-process consensus from one
+// compare-and-swap register. Each process CASes its id into the register
+// (expecting "unset"); the single winner's announced input is decided by
+// everyone.
+//
+// Layout: register 0 is the CAS register (init None); registers 1..n
+// announce inputs.
+func CAS(n int) Instance {
+	fn := model.RMWFn{
+		Name: "compare-and-swap",
+		Apply: func(cur, a, b model.Value) model.Value {
+			if cur == a {
+				return b
+			}
+			return cur
+		},
+	}
+	for i := 0; i < n; i++ {
+		fn.Operands = append(fn.Operands, [2]model.Value{model.None, model.Value(i)})
+	}
+	init := make([]model.Value, 1+n)
+	for i := range init {
+		init[i] = model.None
+	}
+	mem := model.NewMemory("cas", init, model.WithRMW(fn))
+	const (
+		pcAnnounce = iota
+		pcCAS
+		pcAfterCAS
+		pcDecideOther
+	)
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("cas[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(opWrite(model.Value(1+pid), v[0]))
+			case pcCAS:
+				return model.Invoke(opRMW(0, 0, model.Value(pid)))
+			case pcAfterCAS:
+				if v[1] == model.None {
+					return model.Decide(v[0]) // I installed my id: I win
+				}
+				return model.Invoke(opRead(1 + v[1])) // v[1] is the winner's pid
+			case pcDecideOther:
+				return model.Decide(v[2])
+			}
+			panic("cas: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcCAS, v
+			case pcCAS:
+				v[1] = resp
+				return pcAfterCAS, v
+			case pcAfterCAS:
+				v[2] = resp
+				return pcDecideOther, v
+			}
+			panic("cas: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: mem}
+}
+
+// Queue2 is the Theorem 9 protocol: two-process consensus from a FIFO queue
+// initialized with two marker items. The process that dequeues the "first"
+// marker wins.
+//
+// Layout: sub-object 0 is the queue, initialized [0, 1] (0 = first);
+// sub-object 1 is a 2-register announce memory.
+func Queue2() Instance {
+	q := model.NewQueue("queue", []model.Value{0, 1})
+	mem := model.NewMemory("announce", []model.Value{model.None, model.None})
+	comp := model.NewComposite("queue+announce", q, mem)
+	const (
+		pcAnnounce = iota
+		pcDeq
+		pcAfterDeq
+		pcDecideOther
+	)
+	proto := &model.Machine{
+		ProtoName: "queue2",
+		N:         2,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(comp.At(1, opWrite(model.Value(pid), v[0])))
+			case pcDeq:
+				return model.Invoke(comp.At(0, model.Op{Kind: "deq", A: model.None, B: model.None, C: model.None}))
+			case pcAfterDeq:
+				if v[1] == 0 {
+					return model.Decide(v[0]) // dequeued "first": I win
+				}
+				return model.Invoke(comp.At(1, opRead(model.Value(1-pid))))
+			case pcDecideOther:
+				return model.Decide(v[2])
+			}
+			panic("queue2: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcDeq, v
+			case pcDeq:
+				v[1] = resp
+				return pcAfterDeq, v
+			case pcAfterDeq:
+				v[2] = resp
+				return pcDecideOther, v
+			}
+			panic("queue2: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: comp}
+}
+
+// AugQueue is the Theorem 12 protocol: n-process consensus from the
+// augmented queue. Every process enqueues its id; peek reveals the id whose
+// enq was linearized first.
+//
+// Layout: sub-object 0 is an (initially empty) augmented queue; sub-object 1
+// is an n-register announce memory.
+func AugQueue(n int) Instance {
+	menu := make([]model.Value, n)
+	for i := range menu {
+		menu[i] = model.Value(i)
+	}
+	q := model.NewAugmentedQueue("augqueue", nil, menu...)
+	ann := make([]model.Value, n)
+	for i := range ann {
+		ann[i] = model.None
+	}
+	mem := model.NewMemory("announce", ann)
+	comp := model.NewComposite("augqueue+announce", q, mem)
+	const (
+		pcAnnounce = iota
+		pcEnq
+		pcPeek
+		pcReadWinner
+		pcDecide
+	)
+	proto := &model.Machine{
+		ProtoName: fmt.Sprintf("augqueue[n=%d]", n),
+		N:         n,
+		StartVars: func(pid int, input model.Value) []model.Value {
+			return []model.Value{input, model.None, model.None}
+		},
+		OnStep: func(pid, pc int, v []model.Value) model.Action {
+			switch pc {
+			case pcAnnounce:
+				return model.Invoke(comp.At(1, opWrite(model.Value(pid), v[0])))
+			case pcEnq:
+				return model.Invoke(comp.At(0, model.Op{Kind: "enq", A: model.Value(pid), B: model.None, C: model.None}))
+			case pcPeek:
+				return model.Invoke(comp.At(0, model.Op{Kind: "peek", A: model.None, B: model.None, C: model.None}))
+			case pcReadWinner:
+				return model.Invoke(comp.At(1, opRead(v[1])))
+			case pcDecide:
+				return model.Decide(v[2])
+			}
+			panic("augqueue: bad pc")
+		},
+		OnResp: func(pid, pc int, v []model.Value, resp model.Value) (int, []model.Value) {
+			switch pc {
+			case pcAnnounce:
+				return pcEnq, v
+			case pcEnq:
+				return pcPeek, v
+			case pcPeek:
+				v[1] = resp // winner pid; non-None because my enq preceded
+				return pcReadWinner, v
+			case pcReadWinner:
+				v[2] = resp
+				return pcDecide, v
+			}
+			panic("augqueue: bad pc in OnResp")
+		},
+	}
+	return Instance{Proto: proto, Obj: comp}
+}

@@ -1,0 +1,76 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// HerlihyWing is the FIFO queue of Section 3.4's discussion (Herlihy &
+// Wing [10]): enq and deq built from read, fetch-and-add and swap, allowing
+// arbitrarily many concurrent enqueuers and dequeuers without mutual
+// exclusion. As the paper notes, it is *not* wait-free: a deq applied to an
+// empty queue busy-waits until an item arrives — and by Corollary 13 it
+// cannot be extended with a wait-free peek without strictly stronger
+// primitives, because the augmented queue solves n-process consensus while
+// read, fetch-and-add and swap stop at two.
+//
+//	enq(x):  i := FetchAndAdd(back, 1); items[i] := x
+//	deq():   loop { n := back; for i in 0..n-1 { x := Swap(items[i], empty);
+//	         if x != empty { return x } } }
+type HerlihyWing struct {
+	back  atomic.Int64
+	items []atomic.Int64
+}
+
+// hwEmpty marks an unoccupied slot.
+const hwEmpty int64 = -1 << 62
+
+// NewHerlihyWing builds a queue with capacity slots. The original is
+// unbounded; a fixed backing array stands in for infinite memory, and Enq
+// reports failure when it is exhausted (slots are never reused).
+func NewHerlihyWing(capacity int) *HerlihyWing {
+	q := &HerlihyWing{items: make([]atomic.Int64, capacity)}
+	for i := range q.items {
+		q.items[i].Store(hwEmpty)
+	}
+	return q
+}
+
+// Enq appends v (which must not equal the reserved empty marker),
+// returning false if the backing array is exhausted. Enq is wait-free: one
+// fetch-and-add and one write.
+func (q *HerlihyWing) Enq(v int64) bool {
+	i := q.back.Add(1) - 1
+	if i >= int64(len(q.items)) {
+		return false
+	}
+	q.items[i].Store(v)
+	return true
+}
+
+// Deq removes and returns the earliest available item. It busy-waits while
+// the queue is empty — the non-wait-free operation the paper calls out.
+func (q *HerlihyWing) Deq() int64 {
+	for {
+		if v, ok := q.TryDeq(); ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryDeq performs one scan of the occupied range, removing the first item
+// it can capture; ok is false if the scan found the queue empty. Each scan
+// is bounded, so TryDeq is wait-free even though Deq is not.
+func (q *HerlihyWing) TryDeq() (v int64, ok bool) {
+	n := q.back.Load()
+	if n > int64(len(q.items)) {
+		n = int64(len(q.items))
+	}
+	for i := int64(0); i < n; i++ {
+		if x := q.items[i].Swap(hwEmpty); x != hwEmpty {
+			return x, true
+		}
+	}
+	return 0, false
+}

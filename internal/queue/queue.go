@@ -1,0 +1,254 @@
+// Package queue provides the native typed-object substrate of Sections 3.3
+// and 3.4: FIFO queues, the augmented queue with peek, stacks, priority
+// queues, sets and lists, plus Lamport's wait-free single-enqueuer/
+// single-dequeuer queue built from atomic registers alone.
+//
+// Except for Lamport's queue, these objects are linearizable substrate
+// primitives in the sense of the paper — the paper *assumes* their
+// existence and asks what they can implement. Natively they are realized
+// with an internal mutex gate, the same substitution as registers.Memory:
+// each operation is one atomic primitive step.
+package queue
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// Empty is returned by Deq/Pop/Peek on an empty container, matching the
+// paper's requirement that operations be total (Section 2.2).
+const Empty int64 = -1 << 62
+
+// FIFO is a linearizable FIFO queue with total operations.
+type FIFO struct {
+	mu    sync.Mutex
+	items []int64
+	head  int
+}
+
+// NewFIFO builds a queue initialized with the given items, head first.
+func NewFIFO(items ...int64) *FIFO {
+	return &FIFO{items: append([]int64(nil), items...)}
+}
+
+// Enq appends v to the tail.
+func (q *FIFO) Enq(v int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// Deq removes and returns the head item, or Empty if the queue is empty.
+func (q *FIFO) Deq() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return Empty
+	}
+	v := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]int64(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return v
+}
+
+// Len returns the current number of items.
+func (q *FIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Augmented is the augmented queue of Section 3.4: a FIFO queue with peek.
+// Adding peek lifts the consensus number from 2 to infinity (Theorem 12),
+// and by Corollary 14 an Augmented queue cannot be wait-free implemented
+// from regular queues.
+type Augmented struct {
+	FIFO
+}
+
+// NewAugmented builds an augmented queue initialized with the given items.
+func NewAugmented(items ...int64) *Augmented {
+	return &Augmented{FIFO: FIFO{items: append([]int64(nil), items...)}}
+}
+
+// Peek returns the head item without removing it, or Empty.
+func (q *Augmented) Peek() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return Empty
+	}
+	return q.items[q.head]
+}
+
+// Stack is a linearizable LIFO stack with total operations.
+type Stack struct {
+	mu    sync.Mutex
+	items []int64
+}
+
+// Push appends v to the top.
+func (s *Stack) Push(v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, v)
+}
+
+// Pop removes and returns the top item, or Empty.
+func (s *Stack) Pop() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return Empty
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v
+}
+
+// Len returns the current number of items.
+func (s *Stack) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// PriorityQueue is a linearizable min-priority queue with total operations.
+type PriorityQueue struct {
+	mu sync.Mutex
+	h  int64Heap
+}
+
+// Insert adds v.
+func (p *PriorityQueue) Insert(v int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	heap.Push(&p.h, v)
+}
+
+// DeleteMin removes and returns the smallest item, or Empty.
+func (p *PriorityQueue) DeleteMin() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.h) == 0 {
+		return Empty
+	}
+	return heap.Pop(&p.h).(int64)
+}
+
+// Len returns the current number of items.
+func (p *PriorityQueue) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.h)
+}
+
+type int64Heap []int64
+
+func (h int64Heap) Len() int            { return len(h) }
+func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Set is a linearizable set of int64 with total operations.
+type Set struct {
+	mu sync.Mutex
+	m  map[int64]bool
+}
+
+// NewSet builds an empty set.
+func NewSet() *Set { return &Set{m: make(map[int64]bool)} }
+
+// Insert adds v, reporting whether it was absent.
+func (s *Set) Insert(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[v] {
+		return false
+	}
+	s.m[v] = true
+	return true
+}
+
+// Remove deletes v, reporting whether it was present.
+func (s *Set) Remove(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[v] {
+		return false
+	}
+	delete(s.m, v)
+	return true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[v]
+}
+
+// Len returns the current cardinality.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Lamport is Lamport's wait-free queue for one enqueuer and one dequeuer,
+// built from atomic registers alone (Section 3.3, after [15]). Theorem 2
+// implies this cannot be extended to concurrent dequeuers without stronger
+// primitives — which is exactly what makes it interesting as a boundary
+// case: at most one process on each side, and wait-freedom holds with just
+// reads and writes.
+type Lamport struct {
+	head atomic.Int64 // written only by the dequeuer
+	tail atomic.Int64 // written only by the enqueuer
+	buf  []atomic.Int64
+}
+
+// NewLamport builds a single-enqueuer/single-dequeuer queue with the given
+// capacity.
+func NewLamport(capacity int) *Lamport {
+	return &Lamport{buf: make([]atomic.Int64, capacity)}
+}
+
+// Enq appends v, reporting false if the queue is full. Only one goroutine
+// may call Enq.
+func (q *Lamport) Enq(v int64) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() == int64(len(q.buf)) {
+		return false
+	}
+	q.buf[t%int64(len(q.buf))].Store(v)
+	q.tail.Store(t + 1) // single writer: plain increment is safe
+	return true
+}
+
+// Deq removes and returns the head item, or Empty if the queue is empty.
+// Only one goroutine may call Deq.
+func (q *Lamport) Deq() int64 {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return Empty
+	}
+	v := q.buf[h%int64(len(q.buf))].Load()
+	q.head.Store(h + 1)
+	return v
+}
+
+// Len returns the current number of items (approximate under concurrency).
+func (q *Lamport) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}

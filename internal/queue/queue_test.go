@@ -1,0 +1,267 @@
+package queue
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	if got := q.Deq(); got != Empty {
+		t.Fatalf("empty deq = %d, want Empty", got)
+	}
+	for i := int64(0); i < 10; i++ {
+		q.Enq(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		if got := q.Deq(); got != i {
+			t.Fatalf("deq = %d, want %d", got, i)
+		}
+	}
+	if got := q.Deq(); got != Empty {
+		t.Fatalf("drained deq = %d, want Empty", got)
+	}
+}
+
+func TestFIFOInitialItems(t *testing.T) {
+	q := NewFIFO(7, 8, 9)
+	if got := q.Deq(); got != 7 {
+		t.Errorf("deq = %d, want 7 (head first)", got)
+	}
+}
+
+// TestFIFOCompaction exercises the internal head-compaction path.
+func TestFIFOCompaction(t *testing.T) {
+	q := NewFIFO()
+	const total = 10000
+	for i := int64(0); i < total; i++ {
+		q.Enq(i)
+	}
+	for i := int64(0); i < total; i++ {
+		if got := q.Deq(); got != i {
+			t.Fatalf("deq %d = %d", i, got)
+		}
+	}
+	q.Enq(1)
+	if got := q.Deq(); got != 1 {
+		t.Fatalf("post-compaction deq = %d", got)
+	}
+}
+
+func TestAugmentedPeek(t *testing.T) {
+	q := NewAugmented()
+	if got := q.Peek(); got != Empty {
+		t.Fatalf("empty peek = %d", got)
+	}
+	q.Enq(5)
+	q.Enq(6)
+	if got := q.Peek(); got != 5 {
+		t.Fatalf("peek = %d, want 5", got)
+	}
+	if got := q.Peek(); got != 5 {
+		t.Fatalf("peek must not consume; second peek = %d", got)
+	}
+	if got := q.Deq(); got != 5 {
+		t.Fatalf("deq = %d", got)
+	}
+	if got := q.Peek(); got != 6 {
+		t.Fatalf("peek after deq = %d", got)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack
+	if got := s.Pop(); got != Empty {
+		t.Fatalf("empty pop = %d", got)
+	}
+	for i := int64(0); i < 5; i++ {
+		s.Push(i)
+	}
+	for i := int64(4); i >= 0; i-- {
+		if got := s.Pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	var p PriorityQueue
+	f := func(vals []int16) bool {
+		for _, v := range vals {
+			p.Insert(int64(v))
+		}
+		prev := int64(-1 << 62)
+		for range vals {
+			v := p.DeleteMin()
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return p.DeleteMin() == Empty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet()
+	if !s.Insert(3) || s.Insert(3) {
+		t.Error("insert should report presence correctly")
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Error("contains wrong")
+	}
+	if !s.Remove(3) || s.Remove(3) {
+		t.Error("remove should report presence correctly")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+// TestConcurrentFIFOConservation: every enqueued item is dequeued exactly
+// once across concurrent producers and consumers.
+func TestConcurrentFIFOConservation(t *testing.T) {
+	q := NewFIFO()
+	const producers, consumers, per = 4, 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enq(int64(p*per + i))
+			}
+		}()
+	}
+	got := make(chan int64, producers*per)
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v := q.Deq()
+				if v != Empty {
+					got <- v
+					continue
+				}
+				select {
+				case <-done:
+					// drain once more to be sure
+					if v := q.Deq(); v != Empty {
+						got <- v
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	close(got)
+	seen := make(map[int64]bool)
+	for v := range got {
+		if seen[v] {
+			t.Fatalf("item %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("dequeued %d distinct items, want %d", len(seen), producers*per)
+	}
+}
+
+// TestLamportQueue: Lamport's single-enqueuer/single-dequeuer wait-free
+// queue preserves FIFO order and loses nothing, with only atomic registers
+// underneath.
+func TestLamportQueue(t *testing.T) {
+	q := NewLamport(64)
+	const total = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the single dequeuer
+		defer wg.Done()
+		expect := int64(0)
+		for expect < total {
+			v := q.Deq()
+			if v == Empty {
+				runtime.Gosched()
+				continue
+			}
+			if v != expect {
+				t.Errorf("deq = %d, want %d (FIFO violated)", v, expect)
+				return
+			}
+			expect++
+		}
+	}()
+	for i := int64(0); i < total; i++ { // the single enqueuer
+		for !q.Enq(i) {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+func TestLamportQueueFull(t *testing.T) {
+	q := NewLamport(2)
+	if !q.Enq(1) || !q.Enq(2) {
+		t.Fatal("first two enqueues should fit")
+	}
+	if q.Enq(3) {
+		t.Fatal("third enqueue should report full")
+	}
+	if q.Deq() != 1 {
+		t.Fatal("deq order")
+	}
+	if !q.Enq(3) {
+		t.Fatal("space should be available again")
+	}
+}
+
+func TestLamportQueueRandomized(t *testing.T) {
+	q := NewLamport(8)
+	rng := rand.New(rand.NewSource(1))
+	var sent, received []int64
+	var wg sync.WaitGroup
+	const total = 5000
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(received) < total {
+			v := q.Deq()
+			if v == Empty {
+				runtime.Gosched()
+				continue
+			}
+			received = append(received, v)
+		}
+	}()
+	for i := 0; i < total; i++ {
+		v := rng.Int63n(1000)
+		for !q.Enq(v) {
+			runtime.Gosched()
+		}
+		sent = append(sent, v)
+	}
+	wg.Wait()
+	for i := range sent {
+		if sent[i] != received[i] {
+			t.Fatalf("position %d: sent %d received %d", i, sent[i], received[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package randcons explores the question Herlihy's paper leaves open in its
+// conclusion (Section 5): "the use of randomization [1] for wait-free
+// concurrent objects remains unexplored." It implements randomized
+// n-process consensus from atomic read/write registers alone — the objects
+// Theorem 2 proves cannot solve even 2-process consensus deterministically.
+// Randomization sidesteps the valency argument: safety (agreement,
+// validity) is deterministic, while termination holds with probability 1,
+// in expectation after a few rounds against non-adaptive schedulers.
+//
+// The structure is the classic adopt-commit + conciliator loop:
+//
+//   - An adopt-commit object (one per round, built from two rounds of
+//     single-writer registers and collects) guarantees: if any process
+//     commits v, every process leaves the round with v; and if all enter
+//     with v, all commit v. This part is deterministic and carries all the
+//     safety.
+//   - A conciliator mixes preferences between rounds: a process keeps its
+//     adopted value or switches to a randomly chosen announced preference.
+//     Since preferences are always some process's input, validity is
+//     preserved; with constant probability all processes align and the
+//     next round commits.
+//
+// Plugged into the universal construction (internal/core.ConsFAC), this
+// yields a randomized wait-free implementation of arbitrary objects from
+// read/write registers — completing the paper's open question in code.
+package randcons
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"waitfree/internal/registers"
+)
+
+const unset int64 = -1 << 62
+
+// adoptCommit is a one-shot n-process adopt-commit object from registers.
+type adoptCommit struct {
+	a []registers.Atomic // round-1 proposals
+	b []registers.Atomic // round-2 packed (flag, value) records
+}
+
+const (
+	flagAdopt  int64 = 0
+	flagCommit int64 = 1
+)
+
+// packAC packs a flag and a small value; values must fit in 40 bits.
+func packAC(flag, v int64) int64 { return flag<<40 | (v & ((1 << 40) - 1)) }
+
+func unpackAC(p int64) (flag, v int64) { return p >> 40, p & ((1 << 40) - 1) }
+
+func newAdoptCommit(n int) *adoptCommit {
+	ac := &adoptCommit{
+		a: make([]registers.Atomic, n),
+		b: make([]registers.Atomic, n),
+	}
+	for i := 0; i < n; i++ {
+		ac.a[i].Store(unset)
+		ac.b[i].Store(unset)
+	}
+	return ac
+}
+
+// acStatus is the tri-state outcome of an adopt-commit proposal. The
+// distinction between acAdopt and acNone is what carries agreement across
+// rounds: a process that merely *saw* a commit must deterministically adopt
+// its value, while only a process that provably raced no commit (acNone)
+// may let the conciliator randomize its next preference.
+type acStatus int
+
+const (
+	acCommit acStatus = iota + 1
+	acAdopt
+	acNone
+)
+
+// propose runs the two collect rounds. Coherence: if anyone commits v,
+// every process returns acCommit or acAdopt with value v — never acNone.
+// (If some process P commits, P's collect saw only commit records, so any
+// process Q whose adopt record P missed must have written it after P's
+// collect, and Q's own collect — which follows Q's write — then sees P's
+// commit record.)
+func (ac *adoptCommit) propose(pid int, v int64) (acStatus, int64) {
+	ac.a[pid].Store(v)
+	onlyMine := true
+	min := v
+	for i := range ac.a {
+		u := ac.a[i].Load()
+		if u == unset {
+			continue
+		}
+		if u != v {
+			onlyMine = false
+		}
+		if u < min {
+			min = u
+		}
+	}
+	if onlyMine {
+		ac.b[pid].Store(packAC(flagCommit, v))
+	} else {
+		ac.b[pid].Store(packAC(flagAdopt, min))
+	}
+
+	allCommit := true
+	var commitVal int64
+	sawCommit := false
+	for i := range ac.b {
+		p := ac.b[i].Load()
+		if p == unset {
+			continue
+		}
+		flag, u := unpackAC(p)
+		if flag == flagCommit {
+			sawCommit = true
+			commitVal = u
+		} else {
+			allCommit = false
+		}
+	}
+	_, myVal := unpackAC(ac.b[pid].Load())
+	switch {
+	case sawCommit && allCommit:
+		return acCommit, commitVal
+	case sawCommit:
+		return acAdopt, commitVal
+	default:
+		return acNone, myVal
+	}
+}
+
+// Consensus is a one-shot randomized n-process consensus object from
+// atomic registers. It satisfies the consensus.Object contract: agreement
+// and validity are certain; Decide terminates with probability 1.
+type Consensus struct {
+	n        int
+	announce []registers.Atomic
+
+	mu     sync.Mutex
+	rounds []*roundState
+	seed   int64
+
+	maxRound atomic.Int64
+}
+
+type roundState struct {
+	ac    *adoptCommit
+	prefs []registers.Atomic // preferences entering this round
+}
+
+// New builds a randomized consensus object for n processes. seed
+// determines the conciliator coin flips (each process derives its own
+// stream), keeping tests reproducible.
+func New(n int, seed int64) *Consensus {
+	c := &Consensus{n: n, announce: make([]registers.Atomic, n), seed: seed}
+	for i := 0; i < n; i++ {
+		c.announce[i].Store(unset)
+	}
+	return c
+}
+
+// round returns the (lazily created) state for round r.
+func (c *Consensus) round(r int) *roundState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.rounds) <= r {
+		rs := &roundState{ac: newAdoptCommit(c.n), prefs: make([]registers.Atomic, c.n)}
+		for i := 0; i < c.n; i++ {
+			rs.prefs[i].Store(unset)
+		}
+		c.rounds = append(c.rounds, rs)
+	}
+	return c.rounds[r]
+}
+
+// Rounds reports the highest round any process needed (an expectation
+// statistic for the termination experiments).
+func (c *Consensus) Rounds() int64 { return c.maxRound.Load() + 1 }
+
+// Decide implements consensus.Object.
+func (c *Consensus) Decide(pid int, input int64) int64 {
+	c.announce[pid].Store(input)
+	rng := rand.New(rand.NewSource(c.seed ^ int64(pid)*0x5851F42D4C957F2D))
+	pref := input
+	for r := 0; ; r++ {
+		rs := c.round(r)
+		rs.prefs[pid].Store(pref)
+		status, v := rs.ac.propose(pid, pref)
+		if status == acCommit {
+			if r64 := int64(r); r64 > c.maxRound.Load() {
+				c.maxRound.Store(r64)
+			}
+			return v
+		}
+		pref = v
+		// Conciliate ONLY when no commit was seen anywhere (acNone): a
+		// process that saw a commit must carry its value unchanged, or a
+		// committed round could be overturned. Candidates are announced
+		// preferences of this round, so every preference remains some
+		// process's input and validity is preserved.
+		if status == acNone && rng.Intn(2) == 0 {
+			j := rng.Intn(c.n)
+			if u := rs.prefs[j].Load(); u != unset {
+				pref = u
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package randcons
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/core"
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+)
+
+var _ consensus.Object = (*Consensus)(nil)
+
+// TestAdoptCommitCoherence: hammer the adopt-commit object directly; if any
+// process commits v, every process must leave with v, across schedules and
+// participant subsets.
+func TestAdoptCommitCoherence(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		ac := newAdoptCommit(n)
+		live := 1 + rng.Intn(n)
+		type out struct {
+			committed bool
+			v         int64
+		}
+		outs := make([]out, live)
+		var wg sync.WaitGroup
+		for p := 0; p < live; p++ {
+			p := p
+			in := int64(rng.Intn(3))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, v := ac.propose(p, in)
+				outs[p] = out{committed: st == acCommit, v: v}
+			}()
+		}
+		wg.Wait()
+		var commitVal int64
+		committed := false
+		for _, o := range outs {
+			if o.committed {
+				if committed && o.v != commitVal {
+					t.Fatalf("trial %d: two commit values %d, %d", trial, commitVal, o.v)
+				}
+				committed, commitVal = true, o.v
+			}
+		}
+		if committed {
+			for p, o := range outs {
+				if o.v != commitVal {
+					t.Fatalf("trial %d: P%d left with %d despite commit %d",
+						trial, p, o.v, commitVal)
+				}
+			}
+		}
+	}
+}
+
+// TestAdoptCommitConvergence: unanimous inputs always commit.
+func TestAdoptCommitConvergence(t *testing.T) {
+	const n = 4
+	for trial := 0; trial < 500; trial++ {
+		ac := newAdoptCommit(n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, v := ac.propose(p, 7)
+				if st != acCommit || v != 7 {
+					t.Errorf("trial %d: unanimous propose returned (%v, %d)", trial, st, v)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestRandomizedConsensusSafety: agreement and validity across many trials,
+// participant subsets, and seeds. Safety must be certain — randomization
+// only affects how long Decide takes.
+func TestRandomizedConsensusSafety(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			for trial := 0; trial < 400; trial++ {
+				obj := New(n, int64(trial))
+				live := 1 + rng.Intn(n)
+				inputs := make([]int64, live)
+				results := make([]int64, live)
+				for p := range inputs {
+					inputs[p] = int64(trial*10 + p)
+				}
+				var wg sync.WaitGroup
+				for p := 0; p < live; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						results[p] = obj.Decide(p, inputs[p])
+					}()
+				}
+				wg.Wait()
+				valid := false
+				for p := 0; p < live; p++ {
+					if results[p] != results[0] {
+						t.Fatalf("trial %d: disagreement %d vs %d", trial, results[0], results[p])
+					}
+					if results[0] == inputs[p] {
+						valid = true
+					}
+				}
+				if !valid {
+					t.Fatalf("trial %d: decided %d, not a participant input %v",
+						trial, results[0], inputs[:live])
+				}
+			}
+		})
+	}
+}
+
+// TestRandomizedConsensusRounds: expected round count stays small (the
+// conciliator aligns preferences with constant probability per round).
+func TestRandomizedConsensusRounds(t *testing.T) {
+	const n, trials = 4, 300
+	var total, worst int64
+	for trial := 0; trial < trials; trial++ {
+		obj := New(n, int64(trial))
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				obj.Decide(p, int64(p))
+			}()
+		}
+		wg.Wait()
+		r := obj.Rounds()
+		total += r
+		if r > worst {
+			worst = r
+		}
+	}
+	mean := float64(total) / trials
+	t.Logf("rounds: mean %.2f, worst %d over %d trials", mean, worst, trials)
+	if mean > 10 {
+		t.Errorf("expected rounds suspiciously high: %.2f", mean)
+	}
+}
+
+// TestUniversalFromRegistersAlone is the payoff: the universal construction
+// driven by randomized register-only consensus — a wait-free (with
+// probability 1) queue from the weakest level of the hierarchy, answering
+// the paper's Section 5 question in code.
+func TestUniversalFromRegistersAlone(t *testing.T) {
+	const n = 3
+	for trial := 0; trial < 10; trial++ {
+		seedBase := int64(trial * 1000)
+		var k atomic.Int64
+		fac := core.NewConsFAC(n, func() consensus.Object {
+			return New(n, seedBase+k.Add(1))
+		})
+		u := core.NewUniversal(seqspec.Queue{}, fac, n)
+		var rec linearize.Recorder
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(trial*10 + p)))
+				for i := 0; i < 6; i++ {
+					var op seqspec.Op
+					if rng.Intn(2) == 0 {
+						op = seqspec.Op{Kind: "enq", Args: []int64{int64(p*100 + i)}}
+					} else {
+						op = seqspec.Op{Kind: "deq"}
+					}
+					ts := rec.Invoke()
+					resp := u.Invoke(p, op)
+					rec.Complete(p, op, resp, ts)
+				}
+			}()
+		}
+		wg.Wait()
+		if res := linearize.Check(seqspec.Queue{}, rec.History()); !res.OK {
+			t.Fatalf("trial %d: register-only universal queue not linearizable", trial)
+		}
+	}
+}

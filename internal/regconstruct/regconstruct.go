@@ -1,0 +1,370 @@
+// Package regconstruct implements the register-construction ladder that
+// Herlihy's PODC 1988 paper builds on (Section 1 and 3.1, after Lamport
+// [16] and the multi-reader/multi-writer constructions it cites
+// [3,4,13,21,23,24,27,29]):
+//
+//	safe bit  ->  regular bit  ->  regular k-valued register
+//	          ->  atomic single-writer single-reader (SWSR)
+//	          ->  atomic single-writer multi-reader  (SWMR)
+//	          ->  atomic multi-writer multi-reader   (MRMW)
+//
+// These are the wait-free implementations the paper classifies at level 1
+// of the hierarchy: each is a wait-free implementation of a register by
+// weaker registers, and by Theorem 2 none of them — however elaborate —
+// can solve two-process consensus.
+//
+// The timestamp-based constructions use unbounded sequence numbers (the
+// Vitányi–Awerbuch approach); bounded-timestamp versions exist but add
+// nothing to the hierarchy reproduction.
+package regconstruct
+
+import (
+	"sync/atomic"
+)
+
+// Bit is a one-bit register with a single writer; the guarantee (safe,
+// regular, or atomic) depends on the implementation.
+type Bit interface {
+	WriteBit(bool)
+	ReadBit() bool
+}
+
+// Reg is an int64 register with a single writer.
+type Reg interface {
+	Write(int64)
+	Read() int64
+}
+
+// --- Safe bit (the weakest base: Lamport's safe register) ---
+
+// SafeBit simulates a single-writer safe bit: reads that overlap a write
+// return an adversarially chosen value; non-overlapping reads return the
+// last written value. The adversary alternates 0/1 during write windows,
+// which is the worst case for a bit.
+type SafeBit struct {
+	v        atomic.Int32
+	writing  atomic.Int32
+	perturbs atomic.Int64
+}
+
+// WriteBit stores x non-atomically: the write window is visible to readers.
+func (b *SafeBit) WriteBit(x bool) {
+	b.writing.Store(1)
+	if x {
+		b.v.Store(1)
+	} else {
+		b.v.Store(0)
+	}
+	b.writing.Store(0)
+}
+
+// ReadBit returns the value, or an adversarial bit during a write window.
+func (b *SafeBit) ReadBit() bool {
+	if b.writing.Load() == 1 {
+		return b.perturbs.Add(1)%2 == 0 // arbitrary value: overlap
+	}
+	return b.v.Load() == 1
+}
+
+// --- Regular bit from a safe bit ---
+
+// RegularBit is Lamport's construction of a regular bit from a safe bit:
+// the writer simply skips writes that would not change the value. Since a
+// bit's "arbitrary" overlap value is necessarily the old or the new value
+// when they differ, and no write window exists when they coincide, every
+// read returns the old or the new value — regularity.
+type RegularBit struct {
+	base Bit
+	last bool // writer-local shadow of the current value
+}
+
+// NewRegularBit wraps a safe (or better) bit.
+func NewRegularBit(base Bit) *RegularBit {
+	return &RegularBit{base: base}
+}
+
+// WriteBit implements Bit; only the single writer may call it.
+func (b *RegularBit) WriteBit(x bool) {
+	if x != b.last {
+		b.base.WriteBit(x)
+		b.last = x
+	}
+}
+
+// ReadBit implements Bit.
+func (b *RegularBit) ReadBit() bool { return b.base.ReadBit() }
+
+// --- Regular k-valued register from regular bits ---
+
+// RegularK is Lamport's unary construction of a k-valued regular register
+// from k regular bits. To write v, the writer sets bit v and then clears
+// bits v-1..0 (downward); a reader scans upward and returns the index of
+// the first set bit. Whenever a bit is cleared, a higher true bit has
+// already been set, so an upward scan always terminates at a bit whose
+// write overlaps or precedes the read — regularity.
+type RegularK struct {
+	bits []Bit
+}
+
+// NewRegularK builds a k-valued regular register (values 0..k-1) over the
+// given bits, initialized to init. The bits must themselves be regular.
+func NewRegularK(bits []Bit, init int) *RegularK {
+	r := &RegularK{bits: bits}
+	r.bits[init].WriteBit(true)
+	return r
+}
+
+// NewRegularKFromSafe builds the full ladder: k safe bits, each upgraded to
+// regular, composed into a k-valued regular register.
+func NewRegularKFromSafe(k, init int) *RegularK {
+	bits := make([]Bit, k)
+	for i := range bits {
+		bits[i] = NewRegularBit(&SafeBit{})
+	}
+	return NewRegularK(bits, init)
+}
+
+// Write implements Reg; only the single writer may call it.
+func (r *RegularK) Write(v int64) {
+	r.bits[v].WriteBit(true)
+	for i := int(v) - 1; i >= 0; i-- {
+		r.bits[i].WriteBit(false)
+	}
+}
+
+// Read implements Reg.
+func (r *RegularK) Read() int64 {
+	for i := range r.bits {
+		if r.bits[i].ReadBit() {
+			return int64(i)
+		}
+	}
+	panic("regconstruct: regular scan found no set bit; construction invariant broken")
+}
+
+// --- Simulated regular register (for building the upper floors without
+// paying the unary encoding's O(k) cost) ---
+
+// SimRegular simulates a single-writer regular int64 register directly: a
+// read overlapping a write returns the old or the new value, adversarially
+// alternating. It stands in for RegularK where the unbounded timestamp
+// constructions above need a full int64 domain.
+type SimRegular struct {
+	oldV, newV atomic.Int64
+	writing    atomic.Int32
+	flips      atomic.Int64
+}
+
+// NewSimRegular builds a simulated regular register holding init.
+func NewSimRegular(init int64) *SimRegular {
+	r := &SimRegular{}
+	r.oldV.Store(init)
+	r.newV.Store(init)
+	return r
+}
+
+// Write implements Reg; only the single writer may call it.
+func (r *SimRegular) Write(v int64) {
+	r.oldV.Store(r.newV.Load())
+	r.writing.Store(1)
+	r.newV.Store(v)
+	r.writing.Store(0)
+}
+
+// Read implements Reg: old or new during overlap, last value otherwise.
+func (r *SimRegular) Read() int64 {
+	if r.writing.Load() == 1 && r.flips.Add(1)%2 == 0 {
+		return r.oldV.Load()
+	}
+	return r.newV.Load()
+}
+
+// --- Atomic SWSR from a regular register ---
+
+// tagged packs an unbounded tag with a value for the timestamp
+// constructions. Values must fit in 20 bits (tests use small domains; the
+// pack is monotone in (tag, value)).
+func pack(tag, val int64) int64 { return tag<<20 | (val & 0xFFFFF) }
+
+func unpackVal(p int64) int64 { return p & 0xFFFFF }
+
+// AtomicSWSR is an atomic single-writer single-reader register built from
+// one regular register: the writer attaches an increasing sequence number,
+// and the reader never goes backwards (it remembers the largest pair it has
+// returned). Monotone timestamps turn regularity into atomicity for a
+// single reader — the new/old inversion that distinguishes regular from
+// atomic cannot occur.
+type AtomicSWSR struct {
+	base Reg
+	wseq int64 // writer-local
+	rmax int64 // reader-local
+}
+
+// NewAtomicSWSR builds the register over base (regular or better), which
+// must initially hold pack(0, init).
+func NewAtomicSWSR(base Reg) *AtomicSWSR {
+	return &AtomicSWSR{base: base}
+}
+
+// NewAtomicSWSRSim builds the register over a simulated regular base.
+func NewAtomicSWSRSim(init int64) *AtomicSWSR {
+	return &AtomicSWSR{base: NewSimRegular(pack(0, init))}
+}
+
+// Write implements Reg; only the single writer may call it.
+func (r *AtomicSWSR) Write(v int64) {
+	r.wseq++
+	r.base.Write(pack(r.wseq, v))
+}
+
+// Read implements Reg; only the single reader may call it.
+func (r *AtomicSWSR) Read() int64 {
+	p := r.base.Read()
+	if p > r.rmax {
+		r.rmax = p
+	}
+	return unpackVal(r.rmax)
+}
+
+// --- Atomic SWMR from SWSR registers ---
+
+// AtomicSWMR is the classic single-writer multi-reader construction
+// (Israeli–Li / Vitányi–Awerbuch with unbounded tags): the writer writes
+// the tagged value to one SWSR register per reader; each reader takes the
+// maximum of the writer's register and what every other reader last
+// reported, reports that maximum to the other readers, and returns it. The
+// report step is what prevents new/old inversions between different
+// readers.
+type AtomicSWMR struct {
+	n    int
+	wcol []Reg   // writer -> reader i
+	comm [][]Reg // comm[i][j]: reader i -> reader j
+	wseq int64   // writer-local
+}
+
+// NewAtomicSWMR builds an n-reader register holding init, over simulated
+// regular SWSR registers.
+func NewAtomicSWMR(n int, init int64) *AtomicSWMR {
+	r := &AtomicSWMR{n: n}
+	r.wcol = make([]Reg, n)
+	for i := range r.wcol {
+		r.wcol[i] = NewSimRegular(pack(0, init))
+	}
+	r.comm = make([][]Reg, n)
+	for i := range r.comm {
+		r.comm[i] = make([]Reg, n)
+		for j := range r.comm[i] {
+			r.comm[i][j] = NewSimRegular(pack(0, init))
+		}
+	}
+	return r
+}
+
+// Write stores v; only the single writer may call it.
+func (r *AtomicSWMR) Write(v int64) {
+	r.wseq++
+	p := pack(r.wseq, v)
+	for i := 0; i < r.n; i++ {
+		r.wcol[i].Write(p)
+	}
+}
+
+// ReadAt returns the value for reader i; each reader index must be used by
+// at most one goroutine.
+func (r *AtomicSWMR) ReadAt(i int) int64 {
+	max := r.wcol[i].Read()
+	for j := 0; j < r.n; j++ {
+		if j == i {
+			continue
+		}
+		if p := r.comm[j][i].Read(); p > max {
+			max = p
+		}
+	}
+	for j := 0; j < r.n; j++ {
+		if j != i {
+			r.comm[i][j].Write(max)
+		}
+	}
+	return unpackVal(max)
+}
+
+// --- Atomic MRMW from SWMR registers ---
+
+// AtomicMRMW is the classic multi-writer construction over single-writer
+// multi-reader registers with unbounded tags: each writer owns one SWMR
+// register; to write, it collects all registers, picks a tag larger than
+// any it saw (ties broken by writer id), and publishes; to read, a process
+// collects all registers and returns the value with the largest (tag, id).
+type AtomicMRMW struct {
+	n    int
+	regs []*AtomicSWMR // regs[w]: writer w's register, readable by all n
+}
+
+// NewAtomicMRMW builds an n-process multi-writer register holding init.
+// All component registers start with tag 0 and the initial value, so the
+// initial maximum is init regardless of tie-breaking.
+func NewAtomicMRMW(n int, init int64) *AtomicMRMW {
+	r := &AtomicMRMW{n: n, regs: make([]*AtomicSWMR, n)}
+	for w := range r.regs {
+		r.regs[w] = NewAtomicSWMR(n, init)
+	}
+	return r
+}
+
+// WriteAt stores v on behalf of writer w in [0, n).
+func (r *AtomicMRMW) WriteAt(w int, v int64) {
+	maxTag := int64(0)
+	for j := 0; j < r.n; j++ {
+		p := r.regs[j].readPackedAt(w)
+		if t := p >> 20; t > maxTag {
+			maxTag = t
+		}
+	}
+	r.regs[w].writePacked(pack(maxTag+1, v))
+}
+
+// ReadAt returns the value for process p in [0, n).
+func (r *AtomicMRMW) ReadAt(p int) int64 {
+	best := int64(-1)
+	bestWriter := -1
+	for j := 0; j < r.n; j++ {
+		q := r.regs[j].readPackedAt(p)
+		if q > best || (q == best && j > bestWriter) {
+			best, bestWriter = q, j
+		}
+	}
+	return unpackVal(best)
+}
+
+// readPackedAt and writePacked expose the component registers' inner packed
+// pairs: the MRMW construction tags values itself, so the component SWMR
+// register transports the packed pair as its plain value.
+
+func (r *AtomicSWMR) writePacked(p int64) {
+	// The outer tag rides in the value slot of the component register; the
+	// component's own wseq still orders the component writes.
+	r.wseq++
+	pp := r.wseq<<40 | p // component seq above, payload below
+	for i := 0; i < r.n; i++ {
+		r.wcol[i].Write(pp)
+	}
+}
+
+func (r *AtomicSWMR) readPackedAt(i int) int64 {
+	max := r.wcol[i].Read()
+	for j := 0; j < r.n; j++ {
+		if j == i {
+			continue
+		}
+		if p := r.comm[j][i].Read(); p > max {
+			max = p
+		}
+	}
+	for j := 0; j < r.n; j++ {
+		if j != i {
+			r.comm[i][j].Write(max)
+		}
+	}
+	return max & ((1 << 40) - 1)
+}

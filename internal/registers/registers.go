@@ -1,0 +1,258 @@
+// Package registers provides the native shared-memory substrate: the
+// register families whose relative power Herlihy's PODC 1988 paper
+// classifies.
+//
+//   - Atomic read/write registers (consensus number 1): sync/atomic.
+//   - Read-modify-write registers (consensus number 2 for interfering
+//     families such as test-and-set, swap and fetch-and-add; unbounded for
+//     compare-and-swap): sync/atomic, with general RMW built from a CAS
+//     retry loop. The retry loop is lock-free rather than wait-free, which
+//     is faithful: real hardware exposes CAS, and Theorem 7 is about the
+//     primitive's power, not about building RMW from CAS.
+//   - Safe registers (Section 3.1, after Lamport): reads that overlap a
+//     write may return arbitrary values. SafeRegister simulates that
+//     adversarially so tests can observe the safe/atomic distinction.
+//   - Memory-to-memory move and swap, and atomic m-register assignment
+//     (Sections 3.5 and 3.6): hardware primitives Go does not have. Memory
+//     simulates them behind an internal gate (see Memory's documentation
+//     and DESIGN.md's substitution table).
+package registers
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Atomic is an atomic read/write register holding an int64. The zero value
+// holds 0 and is ready to use. Per Theorem 2, a collection of these cannot
+// solve two-process wait-free consensus.
+type Atomic struct {
+	v atomic.Int64
+}
+
+// Load returns the register's current value.
+func (r *Atomic) Load() int64 { return r.v.Load() }
+
+// Store sets the register's value.
+func (r *Atomic) Store(v int64) { r.v.Store(v) }
+
+// RMW is a register supporting read-modify-write operations (Section 3.2):
+// RMW(r, f) atomically replaces the value v with f(v) and returns v. The
+// zero value holds 0 and is ready to use.
+type RMW struct {
+	v atomic.Int64
+}
+
+// NewRMW builds an RMW register with the given initial value.
+func NewRMW(init int64) *RMW {
+	r := &RMW{}
+	r.v.Store(init)
+	return r
+}
+
+// Load returns the current value (the trivial RMW with f = identity).
+func (r *RMW) Load() int64 { return r.v.Load() }
+
+// Store sets the value.
+func (r *RMW) Store(v int64) { r.v.Store(v) }
+
+// Apply atomically replaces the value v with f(v) and returns v. f must be
+// pure; it may be called multiple times.
+func (r *RMW) Apply(f func(int64) int64) int64 {
+	for {
+		old := r.v.Load()
+		if r.v.CompareAndSwap(old, f(old)) {
+			return old
+		}
+	}
+}
+
+// TestAndSet sets the register to 1 and returns the old value.
+func (r *RMW) TestAndSet() int64 {
+	return r.Apply(func(int64) int64 { return 1 })
+}
+
+// Swap stores v and returns the old value.
+func (r *RMW) Swap(v int64) int64 { return r.v.Swap(v) }
+
+// FetchAndAdd adds d and returns the old value.
+func (r *RMW) FetchAndAdd(d int64) int64 { return r.v.Add(d) - d }
+
+// CompareAndSwap stores new if the current value is old, returning the value
+// observed before the operation (the paper's compare-and-swap returns the
+// old value rather than a boolean).
+func (r *RMW) CompareAndSwap(old, new int64) int64 {
+	for {
+		cur := r.v.Load()
+		if cur != old {
+			return cur
+		}
+		if r.v.CompareAndSwap(old, new) {
+			return old
+		}
+	}
+}
+
+// SafeRegister simulates Lamport's safe register: correct when accesses do
+// not overlap, but a read that overlaps a write may return an arbitrary
+// value of the register's type. The simulation stores the value in two
+// halves written non-atomically with a scheduling point between them, so
+// overlapping readers can observe genuinely torn values. Safe registers are
+// no stronger than atomic ones (the paper, Section 3.1), and strictly
+// harder to program against; tests use this type to exhibit the difference.
+type SafeRegister struct {
+	lo, hi atomic.Uint32
+	yield  func() // scheduling point between half-writes; tests may widen it
+}
+
+// NewSafeRegister builds a safe register with the given scheduling point
+// between the two half-writes; nil means no explicit yield.
+func NewSafeRegister(yield func()) *SafeRegister {
+	if yield == nil {
+		yield = func() {}
+	}
+	return &SafeRegister{yield: yield}
+}
+
+// Write stores v non-atomically.
+func (r *SafeRegister) Write(v int64) {
+	u := uint64(v)
+	r.lo.Store(uint32(u))
+	r.yield()
+	r.hi.Store(uint32(u >> 32))
+}
+
+// Read returns the register's value; overlapping a Write it may return a
+// value that was never written.
+func (r *SafeRegister) Read() int64 {
+	lo := r.lo.Load()
+	hi := r.hi.Load()
+	return int64(uint64(hi)<<32 | uint64(lo))
+}
+
+// Memory is a vector of registers supporting, in addition to reads and
+// writes, the paper's memory-to-memory operations (Section 3.5) and atomic
+// m-register assignment (Section 3.6).
+//
+// Substitution note (see DESIGN.md): these are *hardware primitives* in the
+// paper — single atomic instructions touching more than one memory cell. No
+// mainstream ISA or Go's sync/atomic provides them, so Memory makes each
+// operation atomic with an internal mutex gate. The gate is an
+// implementation detail of the simulated primitive, invisible at the API:
+// client protocols remain wait-free in the model where each primitive costs
+// one constant-time step, which is exactly the paper's model. Single-cell
+// reads and writes also take the gate so that they linearize with the
+// multi-cell operations.
+type Memory struct {
+	mu    sync.Mutex
+	cells []int64
+	hook  func(pid int, op string)
+}
+
+// NewMemory builds a Memory with the given initial cell contents.
+func NewMemory(init []int64) *Memory {
+	m := &Memory{cells: make([]int64, len(init))}
+	copy(m.cells, init)
+	return m
+}
+
+// SetHook installs a fault-injection callback invoked before every
+// operation, outside the atomic gate, with the acting process id and the
+// operation name. Hooks may yield the scheduler or panic (simulating a
+// crash between primitive steps); they run only on the *Pid variants used
+// by the consensus protocols' chaos tests. A nil pid-less operation calls
+// the hook with pid -1.
+func (m *Memory) SetHook(hook func(pid int, op string)) { m.hook = hook }
+
+func (m *Memory) callHook(pid int, op string) {
+	if m.hook != nil {
+		m.hook(pid, op)
+	}
+}
+
+// ReadPid, WritePid, MovePid, SwapCellsPid and AssignPid are the
+// hook-instrumented variants; without a hook they behave identically to
+// their plain counterparts.
+
+// ReadPid returns cell i on behalf of process pid.
+func (m *Memory) ReadPid(pid, i int) int64 {
+	m.callHook(pid, "read")
+	return m.Read(i)
+}
+
+// WritePid sets cell i on behalf of process pid.
+func (m *Memory) WritePid(pid, i int, v int64) {
+	m.callHook(pid, "write")
+	m.Write(i, v)
+}
+
+// MovePid atomically copies src into dst on behalf of process pid.
+func (m *Memory) MovePid(pid, src, dst int) {
+	m.callHook(pid, "move")
+	m.Move(src, dst)
+}
+
+// SwapCellsPid atomically exchanges cells on behalf of process pid.
+func (m *Memory) SwapCellsPid(pid, i, j int) {
+	m.callHook(pid, "swap")
+	m.SwapCells(i, j)
+}
+
+// AssignPid atomically writes v to idxs on behalf of process pid.
+func (m *Memory) AssignPid(pid int, idxs []int, v int64) {
+	m.callHook(pid, "assign")
+	m.Assign(idxs, v)
+}
+
+// Size returns the number of cells.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// Read returns cell i.
+func (m *Memory) Read(i int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cells[i]
+}
+
+// Write sets cell i to v.
+func (m *Memory) Write(i int, v int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[i] = v
+}
+
+// Move atomically copies cell src into cell dst (Theorem 15's primitive).
+func (m *Memory) Move(src, dst int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[dst] = m.cells[src]
+}
+
+// SwapCells atomically exchanges cells i and j (Theorem 16's primitive;
+// note this is memory-to-memory swap, not the register-to-processor swap of
+// Section 3.2).
+func (m *Memory) SwapCells(i, j int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[i], m.cells[j] = m.cells[j], m.cells[i]
+}
+
+// Assign atomically writes v to every cell in idxs (Section 3.6's
+// m-register assignment, m = len(idxs)).
+func (m *Memory) Assign(idxs []int, v int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, i := range idxs {
+		m.cells[i] = v
+	}
+}
+
+// Snapshot returns a copy of all cells, atomically. The paper's protocols
+// never need it, but tests use it to state invariants.
+func (m *Memory) Snapshot() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.cells))
+	copy(out, m.cells)
+	return out
+}

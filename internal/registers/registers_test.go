@@ -1,0 +1,248 @@
+package registers
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicBasics(t *testing.T) {
+	var r Atomic
+	if got := r.Load(); got != 0 {
+		t.Errorf("zero value = %d, want 0", got)
+	}
+	r.Store(42)
+	if got := r.Load(); got != 42 {
+		t.Errorf("after Store(42): %d", got)
+	}
+}
+
+func TestRMWSemantics(t *testing.T) {
+	r := NewRMW(7)
+	if got := r.Load(); got != 7 {
+		t.Fatalf("init = %d", got)
+	}
+	if old := r.TestAndSet(); old != 7 {
+		t.Errorf("TestAndSet returned %d, want 7", old)
+	}
+	if got := r.Load(); got != 1 {
+		t.Errorf("after TAS: %d, want 1", got)
+	}
+	if old := r.Swap(5); old != 1 {
+		t.Errorf("Swap returned %d, want 1", old)
+	}
+	if old := r.FetchAndAdd(3); old != 5 {
+		t.Errorf("FetchAndAdd returned %d, want 5", old)
+	}
+	if got := r.Load(); got != 8 {
+		t.Errorf("after FAA: %d, want 8", got)
+	}
+	if old := r.CompareAndSwap(8, 20); old != 8 {
+		t.Errorf("successful CAS returned %d, want 8", old)
+	}
+	if old := r.CompareAndSwap(8, 30); old != 20 {
+		t.Errorf("failed CAS returned %d, want 20", old)
+	}
+	if got := r.Load(); got != 20 {
+		t.Errorf("after failed CAS: %d, want 20", got)
+	}
+}
+
+// TestRMWApplyAtomic: concurrent Apply calls must not lose updates.
+func TestRMWApplyAtomic(t *testing.T) {
+	r := NewRMW(0)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Apply(func(v int64) int64 { return v + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Load(); got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRMWTASWinner: exactly one of many concurrent TestAndSet calls sees 0.
+func TestRMWTASWinner(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		r := NewRMW(0)
+		const workers = 8
+		wins := make(chan int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if r.TestAndSet() == 0 {
+					wins <- w
+				}
+			}()
+		}
+		wg.Wait()
+		close(wins)
+		var winners []int
+		for w := range wins {
+			winners = append(winners, w)
+		}
+		if len(winners) != 1 {
+			t.Fatalf("trial %d: %d winners %v, want exactly 1", trial, len(winners), winners)
+		}
+	}
+}
+
+// TestSafeRegisterSequential: without overlap, safe registers behave like
+// atomic ones (the definition's only guarantee).
+func TestSafeRegisterSequential(t *testing.T) {
+	r := NewSafeRegister(nil)
+	f := func(v int64) bool {
+		r.Write(v)
+		return r.Read() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSafeRegisterCanTear: with overlapping accesses, a safe register can
+// return a value that was never written — which is exactly why the paper's
+// Section 3.1 treats safe registers as no stronger than atomic ones. The
+// two alternating values differ in both halves, so an interleaved read
+// observes a hybrid.
+func TestSafeRegisterCanTear(t *testing.T) {
+	const (
+		a = int64(0x00000001_00000001)
+		b = int64(0x00000002_00000002)
+	)
+	r := NewSafeRegister(runtime.Gosched)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.Write(a)
+			} else {
+				r.Write(b)
+			}
+		}
+	}()
+	torn := false
+	for i := 0; i < 2_000_000 && !torn; i++ {
+		v := r.Read()
+		if v != a && v != b && v != 0 {
+			torn = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !torn {
+		t.Skip("no torn read observed (scheduling-dependent); the property is demonstrative")
+	}
+}
+
+func TestMemoryOperations(t *testing.T) {
+	m := NewMemory([]int64{10, 20, 30, 40})
+	if m.Size() != 4 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	m.Move(0, 3) // cell 3 := cell 0
+	if got := m.Read(3); got != 10 {
+		t.Errorf("after Move: cell 3 = %d, want 10", got)
+	}
+	m.SwapCells(1, 2)
+	if m.Read(1) != 30 || m.Read(2) != 20 {
+		t.Errorf("after SwapCells: %v", m.Snapshot())
+	}
+	m.Assign([]int{0, 2}, 99)
+	want := []int64{99, 30, 99, 10}
+	got := m.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("after Assign: %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+// TestMemorySwapConservation: concurrent SwapCells calls permute values but
+// never lose or duplicate them (multiset invariant under all interleavings).
+func TestMemorySwapConservation(t *testing.T) {
+	const cells, workers, per = 8, 6, 500
+	init := make([]int64, cells)
+	for i := range init {
+		init[i] = int64(i)
+	}
+	m := NewMemory(init)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				m.SwapCells(rng.Intn(cells), rng.Intn(cells))
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[int64]bool)
+	for _, v := range m.Snapshot() {
+		if seen[v] {
+			t.Fatalf("value %d duplicated: %v", v, m.Snapshot())
+		}
+		seen[v] = true
+	}
+	for i := int64(0); i < cells; i++ {
+		if !seen[i] {
+			t.Fatalf("value %d lost: %v", i, m.Snapshot())
+		}
+	}
+}
+
+// TestMemoryAssignAtomicity: a reader never observes a partially applied
+// multi-register assignment (all cells in a set always agree).
+func TestMemoryAssignAtomicity(t *testing.T) {
+	const cells = 4
+	m := NewMemory(make([]int64, cells))
+	set := []int{0, 1, 2, 3}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := int64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Assign(set, v)
+			}
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		snap := m.Snapshot()
+		for j := 1; j < cells; j++ {
+			if snap[j] != snap[0] {
+				t.Fatalf("torn assignment observed: %v", snap)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

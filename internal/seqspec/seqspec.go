@@ -1,0 +1,509 @@
+// Package seqspec defines deterministic sequential objects: the inputs to
+// the paper's universal construction (Section 4.1).
+//
+// Any sequential object whose operations are deterministic and total defines
+// eval (state after a sequence of operations) and apply (response of an
+// invocation in a state); the universal construction replays logged
+// invocations through these functions. Non-deterministic objects are handled
+// by choosing a deterministic refinement, as the paper prescribes (e.g. a
+// set with a non-deterministic remove becomes remove-minimum).
+//
+// States are mutable for efficiency, with explicit Clone for the snapshot
+// (strongly-wait-free) variant and Key for the linearizability checker's
+// memoization.
+package seqspec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is an operation invocation: a kind and its arguments.
+type Op struct {
+	Kind string
+	Args []int64
+}
+
+// String renders the op compactly.
+func (o Op) String() string {
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = strconv.FormatInt(a, 10)
+	}
+	return o.Kind + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Arg returns argument i, or 0 if absent (operations are total; missing
+// arguments default rather than fault).
+func (o Op) Arg(i int) int64 {
+	if i >= len(o.Args) {
+		return 0
+	}
+	return o.Args[i]
+}
+
+// Empty is the total-operation response for "nothing there" (deq of an
+// empty queue, get of a missing key, ...), per Section 2.2.
+const Empty int64 = -1 << 62
+
+// Object is a deterministic sequential object type.
+type Object interface {
+	// Name identifies the type.
+	Name() string
+	// Init returns a fresh initial state.
+	Init() State
+}
+
+// State is a mutable sequential-object state.
+type State interface {
+	// Apply executes op, mutating the state and returning the response.
+	// It must be deterministic and total.
+	Apply(op Op) int64
+	// Clone returns an independent deep copy.
+	Clone() State
+	// Key returns a canonical encoding for memoization and equality.
+	Key() string
+}
+
+// --- Register ---
+
+// Register is a single read/write register; write returns the old value.
+type Register struct{ InitVal int64 }
+
+// Name implements Object.
+func (Register) Name() string { return "register" }
+
+// Init implements Object.
+func (r Register) Init() State { s := registerState(r.InitVal); return &s }
+
+type registerState int64
+
+func (s *registerState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "read":
+		return int64(*s)
+	case "write":
+		old := int64(*s)
+		*s = registerState(op.Arg(0))
+		return old
+	}
+	panic("seqspec: register: unknown op " + op.Kind)
+}
+
+func (s *registerState) Clone() State { c := *s; return &c }
+func (s *registerState) Key() string  { return strconv.FormatInt(int64(*s), 10) }
+
+// --- Counter ---
+
+// Counter supports inc, add(d), and get; inc and add return the old value.
+type Counter struct{}
+
+// Name implements Object.
+func (Counter) Name() string { return "counter" }
+
+// Init implements Object.
+func (Counter) Init() State { s := counterState(0); return &s }
+
+type counterState int64
+
+func (s *counterState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "get":
+		return int64(*s)
+	case "inc":
+		old := int64(*s)
+		*s++
+		return old
+	case "add":
+		old := int64(*s)
+		*s += counterState(op.Arg(0))
+		return old
+	}
+	panic("seqspec: counter: unknown op " + op.Kind)
+}
+
+func (s *counterState) Clone() State { c := *s; return &c }
+func (s *counterState) Key() string  { return strconv.FormatInt(int64(*s), 10) }
+
+// --- FIFO queue ---
+
+// Queue is a FIFO queue: enq(v) and a total deq returning Empty when empty.
+type Queue struct{}
+
+// Name implements Object.
+func (Queue) Name() string { return "queue" }
+
+// Init implements Object.
+func (Queue) Init() State { return &queueState{} }
+
+type queueState struct{ items []int64 }
+
+func (s *queueState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "enq":
+		s.items = append(s.items, op.Arg(0))
+		return 0
+	case "deq":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		v := s.items[0]
+		s.items = append([]int64(nil), s.items[1:]...)
+		return v
+	case "peek":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		return s.items[0]
+	case "len":
+		return int64(len(s.items))
+	}
+	panic("seqspec: queue: unknown op " + op.Kind)
+}
+
+func (s *queueState) Clone() State {
+	return &queueState{items: append([]int64(nil), s.items...)}
+}
+
+func (s *queueState) Key() string { return encodeInts(s.items) }
+
+// --- Stack ---
+
+// Stack is a LIFO stack: push(v) and a total pop returning Empty when empty.
+type Stack struct{}
+
+// Name implements Object.
+func (Stack) Name() string { return "stack" }
+
+// Init implements Object.
+func (Stack) Init() State { return &stackState{} }
+
+type stackState struct{ items []int64 }
+
+func (s *stackState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "push":
+		s.items = append(s.items, op.Arg(0))
+		return 0
+	case "pop":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		v := s.items[len(s.items)-1]
+		s.items = s.items[:len(s.items):len(s.items)]
+		s.items = s.items[:len(s.items)-1]
+		return v
+	case "len":
+		return int64(len(s.items))
+	}
+	panic("seqspec: stack: unknown op " + op.Kind)
+}
+
+func (s *stackState) Clone() State {
+	return &stackState{items: append([]int64(nil), s.items...)}
+}
+
+func (s *stackState) Key() string { return encodeInts(s.items) }
+
+// --- Set (deterministic refinement: remove-min) ---
+
+// Set is a set of int64 with insert, contains, and the deterministic
+// refinement of non-deterministic remove: removeMin (Section 4.1 discusses
+// exactly this refinement).
+type Set struct{}
+
+// Name implements Object.
+func (Set) Name() string { return "set" }
+
+// Init implements Object.
+func (Set) Init() State { return &setState{m: make(map[int64]bool)} }
+
+type setState struct{ m map[int64]bool }
+
+func (s *setState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "insert":
+		v := op.Arg(0)
+		if s.m[v] {
+			return 0
+		}
+		s.m[v] = true
+		return 1
+	case "contains":
+		if s.m[op.Arg(0)] {
+			return 1
+		}
+		return 0
+	case "removeMin":
+		if len(s.m) == 0 {
+			return Empty
+		}
+		min := int64(0)
+		started := false
+		for v := range s.m {
+			if !started || v < min {
+				min, started = v, true
+			}
+		}
+		delete(s.m, min)
+		return min
+	case "len":
+		return int64(len(s.m))
+	}
+	panic("seqspec: set: unknown op " + op.Kind)
+}
+
+func (s *setState) Clone() State {
+	m := make(map[int64]bool, len(s.m))
+	for k := range s.m {
+		m[k] = true
+	}
+	return &setState{m: m}
+}
+
+func (s *setState) Key() string {
+	vs := make([]int64, 0, len(s.m))
+	for v := range s.m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return encodeInts(vs)
+}
+
+// --- Priority queue ---
+
+// PQueue is a min-priority queue: insert(v) and a total deleteMin.
+type PQueue struct{}
+
+// Name implements Object.
+func (PQueue) Name() string { return "pqueue" }
+
+// Init implements Object.
+func (PQueue) Init() State { return &pqueueState{} }
+
+type pqueueState struct{ items []int64 } // kept sorted ascending
+
+func (s *pqueueState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "insert":
+		v := op.Arg(0)
+		i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= v })
+		s.items = append(s.items, 0)
+		copy(s.items[i+1:], s.items[i:])
+		s.items[i] = v
+		return 0
+	case "deleteMin":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		v := s.items[0]
+		s.items = append([]int64(nil), s.items[1:]...)
+		return v
+	case "min":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		return s.items[0]
+	case "len":
+		return int64(len(s.items))
+	}
+	panic("seqspec: pqueue: unknown op " + op.Kind)
+}
+
+func (s *pqueueState) Clone() State {
+	return &pqueueState{items: append([]int64(nil), s.items...)}
+}
+
+func (s *pqueueState) Key() string { return encodeInts(s.items) }
+
+// --- List (cons cells: fetch-and-cons as a sequential spec) ---
+
+// List is the sequential list object whose fetch-and-cons the universal
+// construction bootstraps from: cons prepends and returns the length of the
+// list that followed (a compact stand-in for "the list of items that follow
+// the new item"); head and nth inspect it.
+type List struct{}
+
+// Name implements Object.
+func (List) Name() string { return "list" }
+
+// Init implements Object.
+func (List) Init() State { return &listState{} }
+
+type listState struct{ items []int64 } // head first
+
+func (s *listState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "cons":
+		prior := int64(len(s.items))
+		s.items = append([]int64{op.Arg(0)}, s.items...)
+		return prior
+	case "head":
+		if len(s.items) == 0 {
+			return Empty
+		}
+		return s.items[0]
+	case "nth":
+		i := op.Arg(0)
+		if i < 0 || i >= int64(len(s.items)) {
+			return Empty
+		}
+		return s.items[i]
+	case "len":
+		return int64(len(s.items))
+	}
+	panic("seqspec: list: unknown op " + op.Kind)
+}
+
+func (s *listState) Clone() State {
+	return &listState{items: append([]int64(nil), s.items...)}
+}
+
+func (s *listState) Key() string { return encodeInts(s.items) }
+
+// --- Key-value map ---
+
+// KV is a key-value map: put(k,v) returns the old value or Empty, get(k)
+// returns the value or Empty, del(k) returns the old value or Empty.
+type KV struct{}
+
+// Name implements Object.
+func (KV) Name() string { return "kv" }
+
+// Init implements Object.
+func (KV) Init() State { return &kvState{m: make(map[int64]int64)} }
+
+type kvState struct{ m map[int64]int64 }
+
+func (s *kvState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "put":
+		k, v := op.Arg(0), op.Arg(1)
+		old, ok := s.m[k]
+		s.m[k] = v
+		if !ok {
+			return Empty
+		}
+		return old
+	case "get":
+		if v, ok := s.m[op.Arg(0)]; ok {
+			return v
+		}
+		return Empty
+	case "del":
+		k := op.Arg(0)
+		old, ok := s.m[k]
+		if !ok {
+			return Empty
+		}
+		delete(s.m, k)
+		return old
+	case "len":
+		return int64(len(s.m))
+	}
+	panic("seqspec: kv: unknown op " + op.Kind)
+}
+
+func (s *kvState) Clone() State {
+	m := make(map[int64]int64, len(s.m))
+	for k, v := range s.m {
+		m[k] = v
+	}
+	return &kvState{m: m}
+}
+
+func (s *kvState) Key() string {
+	ks := make([]int64, 0, len(s.m))
+	for k := range s.m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	var b strings.Builder
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%d=%d,", k, s.m[k])
+	}
+	return b.String()
+}
+
+// --- Bank ---
+
+// Bank is a multi-account bank: deposit(a,v), withdraw(a,v) (fails with 0
+// if insufficient, returns 1 on success), transfer(a,b,v) (same), and
+// balance(a). It exemplifies a multi-word object that is painful to make
+// lock-free by hand and trivial under the universal construction.
+type Bank struct{ Accounts int }
+
+// Name implements Object.
+func (Bank) Name() string { return "bank" }
+
+// Init implements Object.
+func (b Bank) Init() State {
+	n := b.Accounts
+	if n == 0 {
+		n = 8
+	}
+	return &bankState{bal: make([]int64, n)}
+}
+
+type bankState struct{ bal []int64 }
+
+func (s *bankState) acct(i int64) int {
+	n := int64(len(s.bal))
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return int(i)
+}
+
+func (s *bankState) Apply(op Op) int64 {
+	switch op.Kind {
+	case "deposit":
+		a := s.acct(op.Arg(0))
+		s.bal[a] += op.Arg(1)
+		return s.bal[a]
+	case "withdraw":
+		a := s.acct(op.Arg(0))
+		v := op.Arg(1)
+		if s.bal[a] < v {
+			return 0
+		}
+		s.bal[a] -= v
+		return 1
+	case "transfer":
+		a, b := s.acct(op.Arg(0)), s.acct(op.Arg(1))
+		v := op.Arg(2)
+		if s.bal[a] < v {
+			return 0
+		}
+		s.bal[a] -= v
+		s.bal[b] += v
+		return 1
+	case "balance":
+		return s.bal[s.acct(op.Arg(0))]
+	case "total":
+		var t int64
+		for _, v := range s.bal {
+			t += v
+		}
+		return t
+	}
+	panic("seqspec: bank: unknown op " + op.Kind)
+}
+
+func (s *bankState) Clone() State {
+	return &bankState{bal: append([]int64(nil), s.bal...)}
+}
+
+func (s *bankState) Key() string { return encodeInts(s.bal) }
+
+func encodeInts(vs []int64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

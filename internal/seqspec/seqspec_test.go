@@ -1,0 +1,227 @@
+package seqspec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func apply(t *testing.T, s State, kind string, args ...int64) int64 {
+	t.Helper()
+	return s.Apply(Op{Kind: kind, Args: args})
+}
+
+func TestRegister(t *testing.T) {
+	s := Register{InitVal: 3}.Init()
+	if got := apply(t, s, "read"); got != 3 {
+		t.Errorf("read init = %d", got)
+	}
+	if old := apply(t, s, "write", 9); old != 3 {
+		t.Errorf("write returned %d, want old value 3", old)
+	}
+	if got := apply(t, s, "read"); got != 9 {
+		t.Errorf("read = %d", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	s := Counter{}.Init()
+	apply(t, s, "inc")
+	apply(t, s, "add", 5)
+	if got := apply(t, s, "get"); got != 6 {
+		t.Errorf("get = %d, want 6", got)
+	}
+}
+
+func TestQueueSpec(t *testing.T) {
+	s := Queue{}.Init()
+	if got := apply(t, s, "deq"); got != Empty {
+		t.Errorf("empty deq = %d", got)
+	}
+	apply(t, s, "enq", 1)
+	apply(t, s, "enq", 2)
+	if got := apply(t, s, "peek"); got != 1 {
+		t.Errorf("peek = %d", got)
+	}
+	if got := apply(t, s, "len"); got != 2 {
+		t.Errorf("len = %d", got)
+	}
+	if got := apply(t, s, "deq"); got != 1 {
+		t.Errorf("deq = %d", got)
+	}
+}
+
+func TestStackSpec(t *testing.T) {
+	s := Stack{}.Init()
+	apply(t, s, "push", 1)
+	apply(t, s, "push", 2)
+	if got := apply(t, s, "pop"); got != 2 {
+		t.Errorf("pop = %d, want LIFO", got)
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	s := Set{}.Init()
+	if got := apply(t, s, "insert", 4); got != 1 {
+		t.Errorf("fresh insert = %d", got)
+	}
+	if got := apply(t, s, "insert", 4); got != 0 {
+		t.Errorf("duplicate insert = %d", got)
+	}
+	apply(t, s, "insert", 2)
+	apply(t, s, "insert", 9)
+	if got := apply(t, s, "removeMin"); got != 2 {
+		t.Errorf("removeMin = %d (deterministic refinement)", got)
+	}
+	if got := apply(t, s, "contains", 2); got != 0 {
+		t.Errorf("contains removed = %d", got)
+	}
+}
+
+func TestPQueueSpec(t *testing.T) {
+	s := PQueue{}.Init()
+	for _, v := range []int64{5, 1, 3} {
+		apply(t, s, "insert", v)
+	}
+	for _, want := range []int64{1, 3, 5} {
+		if got := apply(t, s, "deleteMin"); got != want {
+			t.Errorf("deleteMin = %d, want %d", got, want)
+		}
+	}
+	if got := apply(t, s, "deleteMin"); got != Empty {
+		t.Errorf("empty deleteMin = %d", got)
+	}
+}
+
+func TestListSpec(t *testing.T) {
+	s := List{}.Init()
+	if got := apply(t, s, "cons", 1); got != 0 {
+		t.Errorf("first cons returned %d, want 0 followers", got)
+	}
+	if got := apply(t, s, "cons", 2); got != 1 {
+		t.Errorf("second cons returned %d, want 1 follower", got)
+	}
+	if got := apply(t, s, "head"); got != 2 {
+		t.Errorf("head = %d", got)
+	}
+	if got := apply(t, s, "nth", 1); got != 1 {
+		t.Errorf("nth(1) = %d", got)
+	}
+	if got := apply(t, s, "nth", 5); got != Empty {
+		t.Errorf("nth out of range = %d", got)
+	}
+}
+
+func TestKVSpec(t *testing.T) {
+	s := KV{}.Init()
+	if got := apply(t, s, "get", 1); got != Empty {
+		t.Errorf("missing get = %d", got)
+	}
+	if got := apply(t, s, "put", 1, 10); got != Empty {
+		t.Errorf("fresh put = %d", got)
+	}
+	if got := apply(t, s, "put", 1, 20); got != 10 {
+		t.Errorf("overwrite put = %d", got)
+	}
+	if got := apply(t, s, "del", 1); got != 20 {
+		t.Errorf("del = %d", got)
+	}
+	if got := apply(t, s, "del", 1); got != Empty {
+		t.Errorf("double del = %d", got)
+	}
+}
+
+func TestBankSpec(t *testing.T) {
+	s := Bank{Accounts: 3}.Init()
+	apply(t, s, "deposit", 0, 100)
+	if got := apply(t, s, "withdraw", 0, 150); got != 0 {
+		t.Errorf("overdraft allowed: %d", got)
+	}
+	if got := apply(t, s, "transfer", 0, 1, 60); got != 1 {
+		t.Errorf("transfer failed: %d", got)
+	}
+	if got := apply(t, s, "balance", 1); got != 60 {
+		t.Errorf("balance = %d", got)
+	}
+	if got := apply(t, s, "total"); got != 100 {
+		t.Errorf("total = %d (money not conserved)", got)
+	}
+}
+
+// TestCloneIndependence: mutations after Clone must not leak into the
+// original (the snapshot refinement depends on this).
+func TestCloneIndependence(t *testing.T) {
+	objects := []Object{
+		Register{}, Counter{}, Queue{}, Stack{}, Set{}, PQueue{}, KV{},
+		Bank{Accounts: 4}, List{},
+	}
+	first := map[string]Op{
+		"register": {Kind: "write", Args: []int64{5}},
+		"counter":  {Kind: "inc"},
+		"queue":    {Kind: "enq", Args: []int64{5}},
+		"stack":    {Kind: "push", Args: []int64{5}},
+		"set":      {Kind: "insert", Args: []int64{5}},
+		"pqueue":   {Kind: "insert", Args: []int64{5}},
+		"kv":       {Kind: "put", Args: []int64{5, 5}},
+		"bank":     {Kind: "deposit", Args: []int64{0, 5}},
+		"list":     {Kind: "cons", Args: []int64{5}},
+	}
+	second := map[string]Op{
+		"register": {Kind: "write", Args: []int64{6}},
+		"counter":  {Kind: "inc"},
+		"queue":    {Kind: "enq", Args: []int64{6}},
+		"stack":    {Kind: "push", Args: []int64{6}},
+		"set":      {Kind: "insert", Args: []int64{6}},
+		"pqueue":   {Kind: "insert", Args: []int64{6}},
+		"kv":       {Kind: "put", Args: []int64{6, 6}},
+		"bank":     {Kind: "deposit", Args: []int64{1, 6}},
+		"list":     {Kind: "cons", Args: []int64{6}},
+	}
+	for _, obj := range objects {
+		s := obj.Init()
+		s.Apply(first[obj.Name()])
+		before := s.Key()
+		c := s.Clone()
+		c.Apply(second[obj.Name()])
+		if s.Key() != before {
+			t.Errorf("%s: mutating a clone changed the original", obj.Name())
+		}
+		if c.Key() == before {
+			t.Errorf("%s: mutator had no effect on the clone", obj.Name())
+		}
+	}
+}
+
+// TestKeyDeterminism: equal histories yield equal keys (Key is canonical),
+// via testing/quick over random op sequences applied to two fresh states.
+func TestKeyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		obj := Set{}
+		a, b := obj.Init(), obj.Init()
+		for i := 0; i < 30; i++ {
+			op := Op{
+				Kind: []string{"insert", "removeMin", "contains"}[rng.Intn(3)],
+				Args: []int64{rng.Int63n(8)},
+			}
+			a.Apply(op)
+			b.Apply(op)
+		}
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpArgDefaults: missing arguments read as zero, keeping operations
+// total.
+func TestOpArgDefaults(t *testing.T) {
+	op := Op{Kind: "x", Args: []int64{7}}
+	if op.Arg(0) != 7 || op.Arg(1) != 0 || op.Arg(5) != 0 {
+		t.Errorf("Arg defaults wrong: %d %d %d", op.Arg(0), op.Arg(1), op.Arg(5))
+	}
+	if s := op.String(); s != "x(7)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,72 @@
+package synth
+
+import (
+	"testing"
+
+	"waitfree/internal/model"
+)
+
+// TestSynthNoAssign2For3Procs is the Theorem 22 evidence at m=2:
+// 2-register atomic assignment cannot solve (2m-1)=3-process consensus.
+// Each process owns one private register and one register shared with each
+// other process; its menu offers its own atomic assignments plus reads.
+// The searched depth is 2 (assign + one read before deciding); Theorem 22's
+// counting argument covers all depths.
+func TestSynthNoAssign2For3Procs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minute-scale search; skipped in -short mode")
+	}
+	// Registers: priv0..priv2 at 0..2, pair{0,1}=3, pair{0,2}=4, pair{1,2}=5.
+	pair := map[[2]int]int{{0, 1}: 3, {0, 2}: 4, {1, 2}: 5}
+	pairOf := func(i, j int) int {
+		if i > j {
+			i, j = j, i
+		}
+		return pair[[2]int{i, j}]
+	}
+	// Assignment sets: per process, one 2-register set per other process
+	// ({priv_i, pair_ij}); sets are indexed pid*2+k.
+	var sets [][]int
+	setIdx := map[[2]int]int{}
+	for i := 0; i < 3; i++ {
+		k := 0
+		for j := 0; j < 3; j++ {
+			if j == i {
+				continue
+			}
+			setIdx[[2]int{i, k}] = len(sets)
+			sets = append(sets, []int{i, pairOf(i, j)})
+			k++
+		}
+	}
+	init := make([]model.Value, 6)
+	for i := range init {
+		init[i] = model.None
+	}
+	mem := model.NewMemory("assign2", init,
+		model.WithAssignSets(sets...), model.WithMenuValues(0, 1))
+	obj := model.Restrict(mem, func(n, pid int, op model.Op) bool {
+		switch op.Kind {
+		case "assign":
+			// Only this process's own assignment sets.
+			return int(op.A) == setIdx[[2]int{pid, 0}] || int(op.A) == setIdx[[2]int{pid, 1}]
+		case "read":
+			return true
+		case "write":
+			return false // only multi-assignment and reads, per Section 3.6
+		}
+		return false
+	})
+	// Measured: the space does not close even at 400M nodes, so this search
+	// documents a searched region rather than a completed impossibility
+	// verdict; Theorem 22's counting argument carries the claim (see
+	// EXPERIMENTS.md E11). The budget is kept modest accordingly.
+	res := Search(obj, Params{Procs: 3, Depth: 2, NodeBudget: 60_000_000})
+	if res.Found {
+		t.Fatalf("Theorem 22 contradicted?! found:\n%s", FormatStrategy(res.Strategy))
+	}
+	if !res.Complete {
+		t.Skipf("search inconclusive within budget (as expected): %s", res)
+	}
+	t.Logf("%s", res)
+}

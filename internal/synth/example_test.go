@@ -1,0 +1,18 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"waitfree/internal/model"
+	"waitfree/internal/synth"
+)
+
+// ExampleSearch runs the Theorem 2 search at its smallest bound: no
+// deterministic wait-free 2-process consensus protocol exists over a single
+// read/write register within one operation per process.
+func ExampleSearch() {
+	mem := model.NewMemory("rw", []model.Value{0})
+	res := synth.Search(mem, synth.Params{Procs: 2, Depth: 1})
+	fmt.Println(res.Found, res.Complete)
+	// Output: false true
+}

@@ -1,0 +1,58 @@
+package synth
+
+import (
+	"strconv"
+	"strings"
+
+	"waitfree/internal/model"
+)
+
+// StrategyProtocol adapts a synthesized strategy into a model.Protocol so it
+// can be independently re-verified by internal/check. The local state is the
+// knowledge key itself.
+type StrategyProtocol struct {
+	ProtoName string
+	N         int
+	Strategy  map[string]model.Action
+}
+
+var _ model.Protocol = (*StrategyProtocol)(nil)
+
+// Name implements model.Protocol.
+func (sp *StrategyProtocol) Name() string { return sp.ProtoName }
+
+// Procs implements model.Protocol.
+func (sp *StrategyProtocol) Procs() int { return sp.N }
+
+// Init implements model.Protocol.
+func (sp *StrategyProtocol) Init(pid int, input model.Value) string {
+	return strconv.Itoa(pid) + "|" + strconv.Itoa(int(input)) + "|"
+}
+
+// Step implements model.Protocol.
+func (sp *StrategyProtocol) Step(pid int, local string) model.Action {
+	act, ok := sp.Strategy[local]
+	if !ok {
+		// The synthesized strategy covers every knowledge state reachable
+		// under the searched input assignments; a miss means the protocol
+		// is being run outside its domain.
+		panic("synth: strategy has no action for knowledge state " + local)
+	}
+	return act
+}
+
+// Next implements model.Protocol.
+func (sp *StrategyProtocol) Next(pid int, local string, resp model.Value) string {
+	return local + "," + strconv.Itoa(int(resp))
+}
+
+// Knowledge helpers for reporting.
+
+// KnowledgeDepth returns the number of responses embedded in a key.
+func KnowledgeDepth(key string) int {
+	i := strings.LastIndexByte(key, '|')
+	if i < 0 || i == len(key)-1 {
+		return 0
+	}
+	return strings.Count(key[i+1:], ",")
+}
