@@ -28,6 +28,7 @@ import (
 	"waitfree/internal/regconstruct"
 	"waitfree/internal/registers"
 	"waitfree/internal/seqspec"
+	"waitfree/internal/shard"
 	"waitfree/internal/synth"
 )
 
@@ -163,6 +164,27 @@ func BenchmarkInterference(b *testing.B) {
 	}
 }
 
+// benchChunks splits b.N into chunks of at most chunk operations, calling
+// rebuild off the clock before each chunk and run on the clock with the
+// chunk's size. The anchored log retains every node, so rebuilding the
+// object periodically keeps memory flat as b.N scales into the millions;
+// the measured steady-state per-op cost is unaffected.
+func benchChunks(b *testing.B, chunk int, rebuild func(), run func(ops int)) {
+	remaining := b.N
+	b.ResetTimer()
+	for remaining > 0 {
+		ops := remaining
+		if ops > chunk {
+			ops = chunk
+		}
+		remaining -= ops
+		b.StopTimer()
+		rebuild()
+		b.StartTimer()
+		run(ops)
+	}
+}
+
 // --- E14/E15: fetch-and-cons, constant-time vs consensus rounds ---
 
 func BenchmarkFetchAndCons(b *testing.B) {
@@ -176,23 +198,18 @@ func BenchmarkFetchAndCons(b *testing.B) {
 			return core.NewConsFAC(n, func() consensus.Object { return consensus.NewMemSwap(n) })
 		},
 	}
-	// The anchored log retains every node, so rebuild the list periodically
-	// to keep memory flat as b.N scales (the per-op cost is unaffected: one
-	// cons is one primitive step regardless of list length, see E14).
 	const facChunk = 200_000
 	for name, mk := range makers {
 		b.Run(name+"/sequential", func(b *testing.B) {
-			fac := mk()
+			var fac core.FetchAndCons
+			var seq int64
 			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i%facChunk == facChunk-1 {
-					b.StopTimer()
-					fac = mk()
-					b.StartTimer()
+			benchChunks(b, facChunk, func() { fac = mk() }, func(ops int) {
+				for i := 0; i < ops; i++ {
+					seq++
+					fac.FetchAndCons(0, &core.Entry{Pid: 0, Seq: seq})
 				}
-				fac.FetchAndCons(0, &core.Entry{Pid: 0, Seq: int64(i + 1)})
-			}
+			})
 		})
 		b.Run(name+"/contended", func(b *testing.B) {
 			type facBox struct{ fac core.FetchAndCons }
@@ -259,9 +276,7 @@ func BenchmarkUniversal(b *testing.B) {
 	objects := []seqspec.Object{seqspec.Counter{}, seqspec.Queue{}, seqspec.KV{}, seqspec.Bank{Accounts: 8}}
 	// The log list is immutable and anchored at the head, so one object
 	// instance retains its entire history (see core.LiveRegion for the
-	// paper's reclamation boundary). The benchmark measures steady-state
-	// operation cost over bounded-size chunks to keep memory flat as b.N
-	// scales into the millions.
+	// paper's reclamation boundary); benchChunks keeps memory flat.
 	for _, c := range cfgs {
 		chunk := c.chunk
 		if chunk == 0 {
@@ -269,40 +284,33 @@ func BenchmarkUniversal(b *testing.B) {
 		}
 		for _, obj := range objects {
 			b.Run(c.name+"/"+obj.Name(), func(b *testing.B) {
+				var u *core.Universal
 				var mean float64
 				var max int64
-				remaining := b.N
 				b.ReportAllocs()
-				b.ResetTimer()
-				for remaining > 0 {
-					ops := remaining
-					if ops > chunk {
-						ops = chunk
-					}
-					remaining -= ops
-					b.StopTimer()
-					u := core.NewUniversal(obj, c.mk(), n, c.opts...)
-					b.StartTimer()
-					var wg sync.WaitGroup
-					per := ops/n + 1
-					for p := 0; p < n; p++ {
-						p := p
-						wg.Add(1)
-						go func() {
-							defer wg.Done()
-							for i := 0; i < per; i++ {
-								// Alternate mutators per iteration so container
-								// states stay small: snapshots clone the state,
-								// and a monotonically growing object would make
-								// each snapshot O(state) — a property of the
-								// workload, not the construction.
-								u.Invoke(p, benchOp(obj.Name(), p*per+i))
-							}
-						}()
-					}
-					wg.Wait()
-					_, mean, max = u.ReplayStats()
-				}
+				benchChunks(b, chunk,
+					func() { u = core.NewUniversal(obj, c.mk(), n, c.opts...) },
+					func(ops int) {
+						var wg sync.WaitGroup
+						per := ops/n + 1
+						for p := 0; p < n; p++ {
+							p := p
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								for i := 0; i < per; i++ {
+									// Alternate mutators per iteration so container
+									// states stay small: snapshots clone the state,
+									// and a monotonically growing object would make
+									// each snapshot O(state) — a property of the
+									// workload, not the construction.
+									u.Invoke(p, benchOp(obj.Name(), p*per+i))
+								}
+							}()
+						}
+						wg.Wait()
+						_, mean, max = u.ReplayStats()
+					})
 				b.ReportMetric(mean, "replay-mean")
 				b.ReportMetric(float64(max), "replay-max")
 			})
@@ -325,6 +333,155 @@ func benchOp(object string, k int) seqspec.Op {
 		return seqspec.Op{Kind: "transfer", Args: []int64{int64(k % 8), int64((k + 1) % 8), 1}}
 	}
 	return seqspec.Op{Kind: "inc"}
+}
+
+// --- PR1 perf layer: read fast path, tunable snapshots, sharded front end ---
+
+// benchRNG is a per-worker linear congruential generator: deterministic,
+// allocation-free op selection inside timed loops.
+type benchRNG uint64
+
+func (g *benchRNG) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g >> 33)
+}
+
+// runReadMix drives ops operations split across n worker pids, each doing
+// pct% gets (read-only) and otherwise puts, over a keyspace of keys.
+func runReadMix(n, ops, pct int, keys int64, invoke func(int, seqspec.Op) int64) {
+	var wg sync.WaitGroup
+	per := ops/n + 1
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := benchRNG(p + 1)
+			for i := 0; i < per; i++ {
+				r := rng.next()
+				key := int64(r) % keys
+				if int((r>>10)%100) < pct {
+					invoke(p, seqspec.Op{Kind: "get", Args: []int64{key}})
+				} else {
+					invoke(p, seqspec.Op{Kind: "put", Args: []int64{key, int64(r)}})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkReadMix measures the read fast path against the seed write path
+// (every op pays cons + snapshot) on a KV under read-dominated and mixed
+// workloads. fastpath/reads=100 vs writepath/reads=100 is the acceptance
+// comparison: read-only ns/op with and without the fast path.
+func BenchmarkReadMix(b *testing.B) {
+	const n = 8
+	const keys = 64
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "fastpath"},
+		{name: "writepath", opts: []core.Option{core.WithoutFastReads()}},
+	}
+	for _, mode := range modes {
+		for _, pct := range []int{100, 95, 50} {
+			b.Run(fmt.Sprintf("kv/%s/reads=%d", mode.name, pct), func(b *testing.B) {
+				var u *core.Universal
+				var fastTotal int64
+				var mean float64
+				b.ReportAllocs()
+				benchChunks(b, 100_000,
+					func() {
+						if u != nil {
+							fastTotal += u.FastReads()
+						}
+						u = core.NewUniversal(seqspec.KV{}, core.NewSwapFAC(), n, mode.opts...)
+						for k := int64(0); k < keys; k++ {
+							u.Invoke(0, seqspec.Op{Kind: "put", Args: []int64{k, k}})
+						}
+					},
+					func(ops int) {
+						runReadMix(n, ops, pct, keys, u.Invoke)
+						_, mean, _ = u.ReplayStats()
+					})
+				fastTotal += u.FastReads()
+				b.ReportMetric(float64(fastTotal)/float64(b.N), "fast-reads/op")
+				b.ReportMetric(mean, "replay-mean")
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotInterval sweeps WithSnapshotInterval(k) under a pure
+// write workload on clone-heavy states: larger k amortizes the per-op
+// Clone, at the cost of longer replays (replay-mean grows toward n·k).
+func BenchmarkSnapshotInterval(b *testing.B) {
+	const n = 4
+	writeOp := func(object string, i int) seqspec.Op {
+		if object == "bank" {
+			return seqspec.Op{Kind: "transfer", Args: []int64{int64(i % 64), int64((i + 1) % 64), 1}}
+		}
+		return seqspec.Op{Kind: "put", Args: []int64{int64(i % 256), int64(i)}}
+	}
+	objects := []seqspec.Object{seqspec.KV{}, seqspec.Bank{Accounts: 64}}
+	for _, obj := range objects {
+		for _, k := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/k=%d", obj.Name(), k), func(b *testing.B) {
+				var u *core.Universal
+				var mean float64
+				b.ReportAllocs()
+				benchChunks(b, 100_000,
+					func() { u = core.NewUniversal(obj, core.NewSwapFAC(), n, core.WithSnapshotInterval(k)) },
+					func(ops int) {
+						var wg sync.WaitGroup
+						per := ops/n + 1
+						for p := 0; p < n; p++ {
+							p := p
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								for i := 0; i < per; i++ {
+									u.Invoke(p, writeOp(obj.Name(), p*per+i))
+								}
+							}()
+						}
+						wg.Wait()
+						_, mean, _ = u.ReplayStats()
+					})
+				b.ReportMetric(mean, "replay-mean")
+			})
+		}
+	}
+}
+
+// BenchmarkShardScaling measures the sharded KV front end at S ∈ {1,2,4,8}
+// under the 95/5 read mix: near-linear scaling for a key-partitionable
+// workload, versus the single shared log at S=1.
+func BenchmarkShardScaling(b *testing.B) {
+	const n = 8
+	const keys = 1024
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/reads=95", s), func(b *testing.B) {
+			var kv *shard.Sharded
+			var fastTotal int64
+			b.ReportAllocs()
+			benchChunks(b, 200_000,
+				func() {
+					if kv != nil {
+						fastTotal += kv.FastReads()
+					}
+					kv = shard.NewKV(s, n, func() core.FetchAndCons { return core.NewSwapFAC() })
+					for k := int64(0); k < keys; k++ {
+						kv.Invoke(0, seqspec.Op{Kind: "put", Args: []int64{k, k}})
+					}
+				},
+				func(ops int) { runReadMix(n, ops, 95, keys, kv.Invoke) })
+			fastTotal += kv.FastReads()
+			b.ReportMetric(float64(fastTotal)/float64(b.N), "fast-reads/op")
+		})
+	}
 }
 
 // --- E17: the Section 1 motivation — locks vs wait-free under stalls ---
@@ -382,6 +539,8 @@ func (s *stallFAC) FetchAndCons(pid int, e *core.Entry) *core.Node {
 	return out
 }
 
+func (s *stallFAC) Observe() *core.Node { return s.inner.Observe() }
+
 // benchInvokers measures the healthy workers' throughput: b.N operations
 // split across workers 1..n-1 while worker 0 (the staller) loops until they
 // finish.
@@ -429,35 +588,30 @@ func BenchmarkConsFACScaling(b *testing.B) {
 	for _, n := range []int{2, 4, 8, 16} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			const chunk = 100_000 // bound retained-log memory per instance
+			var fac *core.ConsFAC
+			var u *core.Universal
 			var rounds float64
-			remaining := b.N
-			b.ResetTimer()
-			for remaining > 0 {
-				ops := remaining
-				if ops > chunk {
-					ops = chunk
-				}
-				remaining -= ops
-				b.StopTimer()
-				fac := core.NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
-				u := core.NewUniversal(seqspec.Counter{}, fac, n)
-				b.StartTimer()
-				var wg sync.WaitGroup
-				per := ops/n + 1
-				for p := 0; p < n; p++ {
-					p := p
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for i := 0; i < per; i++ {
-							u.Invoke(p, seqspec.Op{Kind: "inc"})
-						}
-					}()
-				}
-				wg.Wait()
-				rounds = fac.RoundsPerOp()
-			}
+			benchChunks(b, 100_000,
+				func() {
+					fac = core.NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
+					u = core.NewUniversal(seqspec.Counter{}, fac, n)
+				},
+				func(ops int) {
+					var wg sync.WaitGroup
+					per := ops/n + 1
+					for p := 0; p < n; p++ {
+						p := p
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for i := 0; i < per; i++ {
+								u.Invoke(p, seqspec.Op{Kind: "inc"})
+							}
+						}()
+					}
+					wg.Wait()
+					rounds = fac.RoundsPerOp()
+				})
 			b.ReportMetric(rounds, "rounds/op")
 		})
 	}

@@ -1,0 +1,109 @@
+// Command benchjson runs the performance benchmark suite and records the
+// results as JSON, establishing a machine-readable perf trajectory across
+// PRs (BENCH_PR1.json, BENCH_PR2.json, ...).
+//
+// It shells out to `go test -bench` on the root package, parses the
+// standard benchmark output — including custom metrics like fast-reads/op
+// and replay-mean — and writes one JSON document with environment metadata.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                       # default suite -> BENCH_PR1.json
+//	go run ./cmd/benchjson -bench 'ReadMix' -benchtime 500ms -out /tmp/out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"flag"
+)
+
+// result is one benchmark line: name, iteration count, and every reported
+// metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units).
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	MaxProcs   int      `json:"gomaxprocs"`
+	Command    string   `json:"command"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   12345   67.8 ns/op   9 B/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "ReadMix|SnapshotInterval|ShardScaling|Universal/", "benchmark regexp to run")
+		benchtime = flag.String("benchtime", "300ms", "per-benchmark measurement time")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "BENCH_PR1.json", "output JSON path")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Command:   "go " + strings.Join(args, " "),
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}

@@ -170,6 +170,8 @@ func (s *stallFAC) FetchAndCons(pid int, e *core.Entry) *core.Node {
 	return out
 }
 
+func (s *stallFAC) Observe() *core.Node { return s.inner.Observe() }
+
 func e19Combining(n, per int) {
 	fmt.Println("E19: combining network (Ultracomputer, Sections 1/5)")
 	net := combine.New(n, 0)

@@ -43,6 +43,8 @@ func (s *stallingFAC) FetchAndCons(pid int, e *waitfree.Entry) *waitfree.Node {
 	return out
 }
 
+func (s *stallingFAC) Observe() *waitfree.Node { return s.inner.Observe() }
+
 func main() {
 	fac := &stallingFAC{inner: waitfree.NewSwapFetchAndCons()}
 	bank := waitfree.New(waitfree.Bank{Accounts: accounts}, fac, tellers)

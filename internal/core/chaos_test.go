@@ -88,6 +88,8 @@ func (y *yieldFAC) FetchAndCons(pid int, e *Entry) *Node {
 	return out
 }
 
+func (y *yieldFAC) Observe() *Node { return y.inner.Observe() }
+
 // TestChaosScheduling: universal objects stay linearizable with yields
 // injected around the linearization point, across object types.
 func TestChaosScheduling(t *testing.T) {

@@ -30,6 +30,13 @@ type ConsFAC struct {
 	prefer   []atomic.Pointer[Node]
 	rounds   *roundArray
 
+	// decided[p] is a single-writer register holding the longest list p has
+	// *certified* as decided: the suffix of a coherent view headed by p's
+	// own entry. p stores it before its fetch-and-cons returns, so a scan of
+	// decided[] sees every completed operation; prefer[] would not do — it
+	// transiently holds proposals whose head entries are not yet ordered.
+	decided []atomic.Pointer[Node]
+
 	// lastWinner[p] is the paper's persistent per-process local variable
 	// "winner": the winner of the last round p participated in (-1 before
 	// any). Only process p accesses entry p.
@@ -49,6 +56,7 @@ func NewConsFAC(n int, factory consensus.Factory) *ConsFAC {
 		announce:   make([]atomic.Pointer[Entry], n),
 		round:      make([]atomic.Int64, n),
 		prefer:     make([]atomic.Pointer[Node], n),
+		decided:    make([]atomic.Pointer[Node], n),
 		rounds:     newRoundArray(factory),
 		lastWinner: make([]int, n),
 	}
@@ -97,10 +105,39 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 		f.prefer[pid].Store(dec)
 		f.round[pid].Store(r)
 		if w == pid {
-			return trim(dec, e)
+			return f.publish(pid, trim(dec, e))
 		}
 	}
-	return trim(f.preferOf(winner), e)
+	return f.publish(pid, trim(f.preferOf(winner), e))
+}
+
+// publish certifies self (the view suffix headed by the caller's own entry)
+// as decided and returns its rest. Entries at or below the caller's own are
+// ordered — Lemma 24's coherence means every view agrees on everything from
+// the caller's entry down, even when the view's *head* still carries
+// undecided proposals — so self is safe to expose to Observe. The store
+// happens before FetchAndCons returns, giving Observe its completed-
+// operation guarantee.
+func (f *ConsFAC) publish(pid int, self *Node) *Node {
+	f.decided[pid].Store(self)
+	return self.Rest
+}
+
+// Observe implements FetchAndCons: scan the n decided registers and return
+// the longest certified list, O(n) loads and no consensus round. Certified
+// lists form a coherent family (suffixes of coherent views), so the longest
+// one contains every entry of every other — in particular every operation
+// that completed before the scan began, whose invoker published it first.
+// Each register is monotone (a process's successive certified lists extend
+// one another), so a register that grows mid-scan only ever adds entries.
+func (f *ConsFAC) Observe() *Node {
+	var best *Node
+	for p := 0; p < f.n; p++ {
+		if d := f.decided[p].Load(); d != nil && (best == nil || d.Len > best.Len) {
+			best = d
+		}
+	}
+	return best
 }
 
 // decide joins consensus round r, electing a process id.
@@ -168,12 +205,13 @@ func merge(goal []*Entry, base *Node) *Node {
 	return out
 }
 
-// trim returns the suffix following entry e in list l (the paper's trim:
-// the caller's view of the state its operation observed).
+// trim returns the node of entry e within list l; its Rest is the paper's
+// trim (the caller's view of the state its operation observed), and the
+// node itself is the decided prefix ending with e that publish certifies.
 func trim(l *Node, e *Entry) *Node {
 	for n := l; n != nil; n = n.Rest {
 		if n.Entry == e {
-			return n.Rest
+			return n
 		}
 	}
 	panic(fmt.Sprintf("core: entry %s missing from decided list; Lemma 24 invariant broken", e))

@@ -80,6 +80,15 @@ type FetchAndCons interface {
 	// FetchAndCons threads e onto the list and returns the prior list (the
 	// entries that precede e in linearization order, newest first).
 	FetchAndCons(pid int, e *Entry) *Node
+
+	// Observe returns a decided list: a prefix of the object's linearization
+	// order (newest first) that contains every entry whose FetchAndCons call
+	// returned before Observe was invoked, and no entry whose position in
+	// the order is still undecided. The load that captures the list is the
+	// linearization point of any read-only operation served from it, so
+	// Observe must be wait-free and must not consume a cons. May be called
+	// concurrently from any goroutine. Returns nil while the log is empty.
+	Observe() *Node
 }
 
 // view materializes the coherence notion of Lemmas 24/25: the view of a

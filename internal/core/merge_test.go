@@ -153,12 +153,15 @@ func TestTrim(t *testing.T) {
 	es := entries(0, 1, 0)
 	l := listOf(es[2], es[1], es[0]) // newest first: P0#2, P1#1, P0#1
 
-	suffix := trim(l, es[1])
-	if suffix == nil || suffix.Entry != es[0] {
-		t.Fatalf("trim returned wrong suffix: %v", Entries(suffix))
+	self := trim(l, es[1])
+	if self == nil || self.Entry != es[1] {
+		t.Fatalf("trim returned wrong node: %v", Entries(self))
 	}
-	if trim(l, es[0]) != nil {
-		t.Fatal("trim at the tail should return nil")
+	if suffix := self.Rest; suffix == nil || suffix.Entry != es[0] {
+		t.Fatalf("trim returned wrong suffix: %v", Entries(self.Rest))
+	}
+	if trim(l, es[0]).Rest != nil {
+		t.Fatal("trim at the tail should have nil rest")
 	}
 	defer func() {
 		if recover() == nil {

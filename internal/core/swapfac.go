@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SwapFAC is the constant-time fetch-and-cons of Figures 4-3/4-4: a single
 // memory-to-memory swap of the list anchor with the new cell's cdr threads
@@ -12,9 +15,14 @@ import "sync"
 // simulated by a mutex gate whose critical section is exactly the swap.
 // Each FetchAndCons is one primitive step, so client wait-freedom is
 // preserved in the paper's cost model.
+//
+// The anchor is an atomic pointer mutated only inside the gate, so readers
+// can observe the decided list with one load and no gate at all: a swap
+// decides an entry's position the instant it executes, hence every list the
+// anchor ever holds is decided in full.
 type SwapFAC struct {
 	mu   sync.Mutex
-	head *Node
+	head atomic.Pointer[Node]
 }
 
 // NewSwapFAC builds an empty list.
@@ -28,21 +36,22 @@ func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
 	cell := &Node{Entry: e}
 
 	f.mu.Lock() // begin simulated atomic swap(anchor, cell.cdr)
-	prior := f.head
+	prior := f.head.Load()
 	cell.Rest = prior
 	cell.Len = 1
 	if prior != nil {
 		cell.Len = prior.Len + 1
 	}
-	f.head = cell
+	f.head.Store(cell)
 	f.mu.Unlock() // end simulated atomic swap
 
 	return prior
 }
 
+// Observe implements FetchAndCons: one atomic load of the anchor. Any entry
+// whose swap preceded the load is in the returned list, and every entry in
+// it was positioned by its swap, so the list is a decided prefix.
+func (f *SwapFAC) Observe() *Node { return f.head.Load() }
+
 // Head returns the current list head (for tests and inspection).
-func (f *SwapFAC) Head() *Node {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.head
-}
+func (f *SwapFAC) Head() *Node { return f.head.Load() }

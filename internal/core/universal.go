@@ -25,15 +25,34 @@ import (
 // last snapshot is garbage (reclaimed by GC; the paper's manual reclamation
 // argument bounds live storage at O(n^2)).
 type Universal struct {
-	seq      seqspec.Object
-	fac      FetchAndCons
-	truncate bool
-	seqs     []atomic.Int64
+	seq       seqspec.Object
+	fac       FetchAndCons
+	truncate  bool
+	snapEvery int64
+	fastRead  bool
+	seqs      []atomic.Int64
+
+	// lastRead caches the state reconstructed by the most recent fast read,
+	// keyed by the observed list head. Consecutive reads with no intervening
+	// write hit the cache and touch no shared mutable memory at all: the
+	// cached state is frozen (only ReadOnly ops are ever applied to it), so
+	// serving from it is a load plus a pure Apply.
+	lastRead atomic.Pointer[readSnap]
 
 	// replay statistics for the Section 4.1 experiments.
 	replayOps   atomic.Int64
 	replayCells atomic.Int64
 	replayMax   atomic.Int64
+
+	// fastReads counts operations served by the read fast path (no cons, no
+	// snapshot, no consensus round).
+	fastReads atomic.Int64
+}
+
+// readSnap pairs an observed decided list with the state it replays to.
+type readSnap struct {
+	head  *Node
+	state seqspec.State
 }
 
 // Option configures a Universal.
@@ -46,10 +65,31 @@ func WithoutTruncation() Option {
 	return func(u *Universal) { u.truncate = false }
 }
 
+// WithSnapshotInterval makes only every k-th entry per process store a
+// cloned snapshot, trading Clone cost (dominant for map- and array-valued
+// states) against replay length: the strongly-wait-free replay bound
+// degrades gracefully from O(n) to O(n·k). k=1 — every entry, the paper's
+// Section 4.1 construction — is the default.
+func WithSnapshotInterval(k int) Option {
+	if k < 1 {
+		panic("core: snapshot interval must be >= 1")
+	}
+	return func(u *Universal) { u.snapEvery = int64(k) }
+}
+
+// WithoutFastReads routes read-only operations through the full write path
+// (cons + replay + snapshot), as the construction did before the read fast
+// path existed; useful for measuring the fast path and for differential
+// testing against it.
+func WithoutFastReads() Option {
+	return func(u *Universal) { u.fastRead = false }
+}
+
 // NewUniversal builds a wait-free version of seq for n processes over fac.
 // Truncation is enabled by default.
 func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *Universal {
-	u := &Universal{seq: seq, fac: fac, truncate: true, seqs: make([]atomic.Int64, n)}
+	u := &Universal{seq: seq, fac: fac, truncate: true, snapEvery: 1, fastRead: true,
+		seqs: make([]atomic.Int64, n)}
 	for _, o := range opts {
 		o(u)
 	}
@@ -59,14 +99,36 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 // Invoke executes op on behalf of process pid and returns its response.
 // Each pid must invoke sequentially (a front end is a single thread of
 // control); distinct pids may invoke concurrently.
+//
+// Read-only operations (per seq.ReadOnly) are served on a fast path: load a
+// decided list from the fetch-and-cons, replay it to a state, apply the
+// operation — no cons, no snapshot, no consensus round. The linearization
+// point is the Observe load: the observed list contains every operation
+// that completed before the read was invoked and only entries whose order
+// is decided, so the read takes effect atomically at the load.
 func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
+	if u.fastRead && u.seq.ReadOnly(op) {
+		return u.readFast(op)
+	}
 	e := &Entry{Pid: pid, Seq: u.seqs[pid].Add(1), Op: op}
 	prior := u.fac.FetchAndCons(pid, e)
 	pre := u.replay(prior)
-	if u.truncate {
+	if u.truncate && e.Seq%u.snapEvery == 0 {
 		e.snapshot.Store(&snapBox{state: pre.Clone()})
 	}
 	return pre.Apply(op)
+}
+
+// readFast serves a read-only operation from a decided list.
+func (u *Universal) readFast(op seqspec.Op) int64 {
+	u.fastReads.Add(1)
+	head := u.fac.Observe()
+	if c := u.lastRead.Load(); c != nil && c.head == head {
+		return c.state.Apply(op) // frozen state; ReadOnly Apply never mutates
+	}
+	state := u.replay(head)
+	u.lastRead.Store(&readSnap{head: head, state: state})
+	return state.Apply(op)
 }
 
 // replay reconstructs the object state after all entries of list (newest
@@ -133,3 +195,8 @@ func (u *Universal) ReplayStats() (ops int64, mean float64, max int64) {
 	}
 	return ops, mean, u.replayMax.Load()
 }
+
+// FastReads reports how many operations were served by the read-only fast
+// path. Cache-hitting reads count here but not in ReplayStats (they replay
+// nothing).
+func (u *Universal) FastReads() int64 { return u.fastReads.Load() }

@@ -236,6 +236,8 @@ func (ackRegister) Name() string { return "ack-register" }
 
 func (ackRegister) Init() seqspec.State { s := ackRegState(0); return &s }
 
+func (ackRegister) ReadOnly(op seqspec.Op) bool { return op.Kind == "read" }
+
 type ackRegState int64
 
 func (s *ackRegState) Apply(op seqspec.Op) int64 {

@@ -54,6 +54,14 @@ type Object interface {
 	Name() string
 	// Init returns a fresh initial state.
 	Init() State
+	// ReadOnly reports whether op never mutates any state: Apply(op) must
+	// return the same response and leave the state bit-identical no matter
+	// when it runs. The universal construction serves such operations on a
+	// read fast path — replaying a decided log prefix without consuming a
+	// cons or storing a snapshot — and may apply them to shared,
+	// no-longer-cloned states, so a classification that admits a mutating
+	// op is a data race, not just a performance bug.
+	ReadOnly(op Op) bool
 }
 
 // State is a mutable sequential-object state.
@@ -77,6 +85,9 @@ func (Register) Name() string { return "register" }
 
 // Init implements Object.
 func (r Register) Init() State { s := registerState(r.InitVal); return &s }
+
+// ReadOnly implements Object.
+func (Register) ReadOnly(op Op) bool { return op.Kind == "read" }
 
 type registerState int64
 
@@ -105,6 +116,9 @@ func (Counter) Name() string { return "counter" }
 
 // Init implements Object.
 func (Counter) Init() State { s := counterState(0); return &s }
+
+// ReadOnly implements Object.
+func (Counter) ReadOnly(op Op) bool { return op.Kind == "get" }
 
 type counterState int64
 
@@ -137,6 +151,9 @@ func (Queue) Name() string { return "queue" }
 
 // Init implements Object.
 func (Queue) Init() State { return &queueState{} }
+
+// ReadOnly implements Object.
+func (Queue) ReadOnly(op Op) bool { return op.Kind == "peek" || op.Kind == "len" }
 
 type queueState struct{ items []int64 }
 
@@ -180,6 +197,9 @@ func (Stack) Name() string { return "stack" }
 // Init implements Object.
 func (Stack) Init() State { return &stackState{} }
 
+// ReadOnly implements Object.
+func (Stack) ReadOnly(op Op) bool { return op.Kind == "len" }
+
 type stackState struct{ items []int64 }
 
 func (s *stackState) Apply(op Op) int64 {
@@ -219,6 +239,9 @@ func (Set) Name() string { return "set" }
 
 // Init implements Object.
 func (Set) Init() State { return &setState{m: make(map[int64]bool)} }
+
+// ReadOnly implements Object.
+func (Set) ReadOnly(op Op) bool { return op.Kind == "contains" || op.Kind == "len" }
 
 type setState struct{ m map[int64]bool }
 
@@ -283,6 +306,9 @@ func (PQueue) Name() string { return "pqueue" }
 // Init implements Object.
 func (PQueue) Init() State { return &pqueueState{} }
 
+// ReadOnly implements Object.
+func (PQueue) ReadOnly(op Op) bool { return op.Kind == "min" || op.Kind == "len" }
+
 type pqueueState struct{ items []int64 } // kept sorted ascending
 
 func (s *pqueueState) Apply(op Op) int64 {
@@ -332,6 +358,11 @@ func (List) Name() string { return "list" }
 // Init implements Object.
 func (List) Init() State { return &listState{} }
 
+// ReadOnly implements Object.
+func (List) ReadOnly(op Op) bool {
+	return op.Kind == "head" || op.Kind == "nth" || op.Kind == "len"
+}
+
 type listState struct{ items []int64 } // head first
 
 func (s *listState) Apply(op Op) int64 {
@@ -374,6 +405,9 @@ func (KV) Name() string { return "kv" }
 
 // Init implements Object.
 func (KV) Init() State { return &kvState{m: make(map[int64]int64)} }
+
+// ReadOnly implements Object.
+func (KV) ReadOnly(op Op) bool { return op.Kind == "get" || op.Kind == "len" }
 
 type kvState struct{ m map[int64]int64 }
 
@@ -446,6 +480,9 @@ func (b Bank) Init() State {
 	}
 	return &bankState{bal: make([]int64, n)}
 }
+
+// ReadOnly implements Object.
+func (Bank) ReadOnly(op Op) bool { return op.Kind == "balance" || op.Kind == "total" }
 
 type bankState struct{ bal []int64 }
 

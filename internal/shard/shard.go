@@ -1,0 +1,143 @@
+// Package shard is a sharded front end over the universal construction: a
+// router that hashes partition keys across S independent Universal
+// instances, each with its own fetch-and-cons.
+//
+// The paper's construction serializes every operation through one shared
+// log, so throughput is bounded by one cons per operation no matter how
+// many processes run. For key-partitionable workloads that bound is
+// needless: operations on different keys never observe each other's
+// effects, so each partition can run its own universal object and its own
+// log. Sharding changes only the constant factors — each shard is still the
+// paper's wait-free construction, and per-key linearizability is inherited
+// from it.
+//
+// The consistency contract is the standard sharding trade-off: operations
+// that address a single key are linearizable (they execute on exactly one
+// Universal), while cross-shard operations (len-style aggregates) read each
+// shard at a different instant and return a sum that no single moment may
+// have exhibited.
+package shard
+
+import (
+	"waitfree/internal/core"
+	"waitfree/internal/seqspec"
+)
+
+// Router classifies an operation for routing: keyed operations return their
+// partition key (the router hashes it to a shard), cross-shard operations
+// return keyed=false (the operation runs on every shard and the responses
+// are summed).
+type Router func(op seqspec.Op) (key int64, keyed bool)
+
+// KVRouter routes the seqspec.KV operation set: put/get/del by their key
+// argument, len across all shards.
+func KVRouter(op seqspec.Op) (int64, bool) {
+	switch op.Kind {
+	case "put", "get", "del":
+		return op.Arg(0), true
+	case "len":
+		return 0, false
+	}
+	panic("shard: kv: unknown op " + op.Kind)
+}
+
+// Sharded fans operations across independent Universal instances.
+type Sharded struct {
+	shards []*core.Universal
+	route  Router
+}
+
+// New builds a sharded front end: shards independent Universal instances
+// over seq, each for procs processes and with its own fetch-and-cons from
+// mk. Options apply to every shard.
+func New(seq seqspec.Object, route Router, shards, procs int, mk func() core.FetchAndCons, opts ...core.Option) *Sharded {
+	if shards < 1 {
+		panic("shard: need at least one shard")
+	}
+	s := &Sharded{shards: make([]*core.Universal, shards), route: route}
+	for i := range s.shards {
+		s.shards[i] = core.NewUniversal(seq, mk(), procs, opts...)
+	}
+	return s
+}
+
+// NewKV builds a sharded key-value map (seqspec.KV semantics per key).
+func NewKV(shards, procs int, mk func() core.FetchAndCons, opts ...core.Option) *Sharded {
+	return New(seqspec.KV{}, KVRouter, shards, procs, mk, opts...)
+}
+
+// Invoke executes op on behalf of process pid: on the key's shard for keyed
+// operations, summed across every shard otherwise. The per-pid sequential
+// contract of Universal.Invoke applies across the whole front end.
+func (s *Sharded) Invoke(pid int, op seqspec.Op) int64 {
+	if key, keyed := s.route(op); keyed {
+		return s.shards[s.shardOf(key)].Invoke(pid, op)
+	}
+	var total int64
+	for _, u := range s.shards {
+		total += u.Invoke(pid, op)
+	}
+	return total
+}
+
+// Handle returns pid's front end bound to the whole sharded object.
+func (s *Sharded) Handle(pid int) *Handle { return &Handle{s: s, pid: pid} }
+
+// Handle is a per-process front end of a Sharded object.
+type Handle struct {
+	s   *Sharded
+	pid int
+}
+
+// Invoke executes op on behalf of the handle's process.
+func (h *Handle) Invoke(op seqspec.Op) int64 { return h.s.Invoke(h.pid, op) }
+
+// Shards reports the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard exposes shard i for tests and inspection.
+func (s *Sharded) Shard(i int) *core.Universal { return s.shards[i] }
+
+// FastReads sums the read-fast-path counters across shards.
+func (s *Sharded) FastReads() int64 {
+	var total int64
+	for _, u := range s.shards {
+		total += u.FastReads()
+	}
+	return total
+}
+
+// ReplayStats aggregates replay statistics across shards: total replays,
+// weighted mean replay length, and the largest per-shard max.
+func (s *Sharded) ReplayStats() (ops int64, mean float64, max int64) {
+	var cells float64
+	for _, u := range s.shards {
+		o, m, mx := u.ReplayStats()
+		ops += o
+		cells += m * float64(o)
+		if mx > max {
+			max = mx
+		}
+	}
+	if ops > 0 {
+		mean = cells / float64(ops)
+	}
+	return ops, mean, max
+}
+
+// shardOf hashes a partition key to a shard index. Keys are arbitrary
+// int64s (often small and sequential), so a finalizing mixer spreads them
+// before the modulus.
+func (s *Sharded) shardOf(key int64) int {
+	return int(mix64(uint64(key)) % uint64(len(s.shards)))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

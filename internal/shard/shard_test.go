@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waitfree/internal/consensus"
+	"waitfree/internal/core"
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+)
+
+func mkSwap() core.FetchAndCons { return core.NewSwapFAC() }
+
+// TestShardedKVSequential: the sharded map behaves as one KV map under a
+// sequential workload, for several shard counts.
+func TestShardedKVSequential(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := NewKV(shards, 1, mkSwap)
+			ref := seqspec.KV{}.Init()
+			rng := rand.New(rand.NewSource(int64(shards)))
+			for i := 0; i < 500; i++ {
+				var op seqspec.Op
+				switch rng.Intn(4) {
+				case 0:
+					op = seqspec.Op{Kind: "put", Args: []int64{rng.Int63n(32), rng.Int63n(100)}}
+				case 1:
+					op = seqspec.Op{Kind: "get", Args: []int64{rng.Int63n(32)}}
+				case 2:
+					op = seqspec.Op{Kind: "del", Args: []int64{rng.Int63n(32)}}
+				default:
+					op = seqspec.Op{Kind: "len"}
+				}
+				if got, want := s.Invoke(0, op), ref.Apply(op); got != want {
+					t.Fatalf("op %d %s: got %d, want %d", i, op, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedKVRoutingStable: every operation on one key lands on the same
+// shard, and keys spread across shards rather than piling onto one.
+func TestShardedKVRoutingStable(t *testing.T) {
+	s := NewKV(4, 1, mkSwap)
+	hit := make(map[int]int)
+	for k := int64(0); k < 64; k++ {
+		i := s.shardOf(k)
+		if j := s.shardOf(k); j != i {
+			t.Fatalf("key %d routed to %d then %d", k, i, j)
+		}
+		hit[i]++
+	}
+	if len(hit) != 4 {
+		t.Fatalf("64 keys hit only %d of 4 shards: %v", len(hit), hit)
+	}
+}
+
+// TestShardedKVPerKeyLinearizable: a concurrent workload confined to keys
+// of a single shard is linearizable against the unsharded KV spec — the
+// front end adds no reordering beyond the underlying Universal's.
+func TestShardedKVPerKeyLinearizable(t *testing.T) {
+	const n = 3
+	facs := map[string]func() core.FetchAndCons{
+		"swap": mkSwap,
+		"consensus-cas": func() core.FetchAndCons {
+			return core.NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
+		},
+	}
+	for name, mk := range facs {
+		t.Run(name, func(t *testing.T) {
+			s := NewKV(4, n, mk)
+			// Keys that all route to shard 0, so the whole history is one
+			// linearizable object's.
+			var keys []int64
+			for k := int64(0); len(keys) < 3; k++ {
+				if s.shardOf(k) == 0 {
+					keys = append(keys, k)
+				}
+			}
+			var rec linearize.Recorder
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(p)))
+					for i := 0; i < 6; i++ {
+						key := keys[rng.Intn(len(keys))]
+						var op seqspec.Op
+						switch rng.Intn(3) {
+						case 0:
+							op = seqspec.Op{Kind: "put", Args: []int64{key, rng.Int63n(50)}}
+						case 1:
+							op = seqspec.Op{Kind: "get", Args: []int64{key}}
+						default:
+							op = seqspec.Op{Kind: "del", Args: []int64{key}}
+						}
+						ts := rec.Invoke()
+						resp := s.Invoke(p, op)
+						rec.Complete(p, op, resp, ts)
+					}
+				}()
+			}
+			wg.Wait()
+			h := rec.History()
+			if res := linearize.Check(seqspec.KV{}, h); !res.OK {
+				for _, e := range h {
+					t.Logf("  %s", e)
+				}
+				t.Fatal("sharded per-key history not linearizable")
+			}
+		})
+	}
+}
+
+// TestShardedKVConcurrentFinalState: concurrent writers over many keys;
+// the final contents match a sequential merge of the per-key last writes.
+func TestShardedKVConcurrentFinalState(t *testing.T) {
+	const n, perKey = 4, 50
+	s := NewKV(8, n, mkSwap)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				// Each pid owns key pid: the last write per key is known.
+				s.Invoke(p, seqspec.Op{Kind: "put", Args: []int64{int64(p), int64(i)}})
+			}
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < n; p++ {
+		if got := s.Invoke(0, seqspec.Op{Kind: "get", Args: []int64{int64(p)}}); got != perKey-1 {
+			t.Errorf("key %d = %d, want %d", p, got, perKey-1)
+		}
+	}
+	if got := s.Invoke(0, seqspec.Op{Kind: "len"}); got != n {
+		t.Errorf("len = %d, want %d", got, n)
+	}
+}
+
+// TestShardedFastReads: gets ride the read fast path on every shard.
+func TestShardedFastReads(t *testing.T) {
+	s := NewKV(2, 1, mkSwap)
+	for k := int64(0); k < 8; k++ {
+		s.Invoke(0, seqspec.Op{Kind: "put", Args: []int64{k, k}})
+	}
+	for k := int64(0); k < 8; k++ {
+		if got := s.Invoke(0, seqspec.Op{Kind: "get", Args: []int64{k}}); got != k {
+			t.Fatalf("get(%d) = %d", k, got)
+		}
+	}
+	if got := s.FastReads(); got != 8 {
+		t.Errorf("FastReads = %d, want 8", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"waitfree/internal/consensus"
 	"waitfree/internal/core"
 	"waitfree/internal/seqspec"
+	"waitfree/internal/shard"
 )
 
 // Op is an operation invocation on a wait-free object.
@@ -139,10 +140,34 @@ type Option = core.Option
 // refinement (Section 4.1); useful for measuring its effect.
 func WithoutTruncation() Option { return core.WithoutTruncation() }
 
+// WithSnapshotInterval stores a snapshot only on every k-th entry per
+// process, trading Clone cost against replay length: the replay bound
+// degrades gracefully from O(n) to O(n·k). k=1 (the default) is the
+// paper-faithful strongly-wait-free mode.
+func WithSnapshotInterval(k int) Option { return core.WithSnapshotInterval(k) }
+
+// WithoutFastReads routes read-only operations through the full write path
+// (cons + snapshot); useful for measuring the read fast path against it.
+func WithoutFastReads() Option { return core.WithoutFastReads() }
+
 // New builds a wait-free version of seq for n processes over fac. For a
 // sensible default fetch-and-cons, pass NewSwapFetchAndCons() (constant
 // time) or NewConsensusFetchAndCons(n, func() Consensus {
 // return NewCASConsensus(n) }) (the full Theorem 26 reduction).
 func New(seq Object, fac FetchAndCons, n int, opts ...Option) *Universal {
 	return core.NewUniversal(seq, fac, n, opts...)
+}
+
+// Sharded is a sharded front end: operations are routed by partition key
+// across independent Universal instances, one log per shard. Single-key
+// operations stay linearizable; cross-shard aggregates (len) are sums of
+// per-shard reads taken at different instants.
+type Sharded = shard.Sharded
+
+// NewShardedKV builds a key-value map hashed across shards independent
+// universal objects, each with its own fetch-and-cons from mk and serving
+// procs processes. For read-dominated, key-partitionable workloads this
+// scales throughput near-linearly in the shard count.
+func NewShardedKV(shards, procs int, mk func() FetchAndCons, opts ...Option) *Sharded {
+	return shard.NewKV(shards, procs, mk, opts...)
 }

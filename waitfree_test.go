@@ -169,6 +169,44 @@ func TestHandles(t *testing.T) {
 	}
 }
 
+// TestSnapshotIntervalOption exercises the option through the façade: the
+// construction stays correct while snapshots thin out.
+func TestSnapshotIntervalOption(t *testing.T) {
+	u := waitfree.New(waitfree.Counter{}, waitfree.NewSwapFetchAndCons(), 2,
+		waitfree.WithSnapshotInterval(8))
+	for i := 0; i < 100; i++ {
+		u.Invoke(0, waitfree.Op{Kind: "inc"})
+	}
+	if got := u.Invoke(1, waitfree.Op{Kind: "get"}); got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+}
+
+// TestFastReadsFacade: read-only ops are counted as fast reads and agree
+// with the write path.
+func TestFastReadsFacade(t *testing.T) {
+	u := waitfree.New(waitfree.KV{}, waitfree.NewSwapFetchAndCons(), 1)
+	u.Invoke(0, waitfree.Op{Kind: "put", Args: []int64{1, 42}})
+	if got := u.Invoke(0, waitfree.Op{Kind: "get", Args: []int64{1}}); got != 42 {
+		t.Fatalf("get = %d, want 42", got)
+	}
+	if got := u.FastReads(); got != 1 {
+		t.Errorf("FastReads = %d, want 1", got)
+	}
+}
+
+func ExampleNewShardedKV() {
+	const shards, procs = 4, 2
+	kv := waitfree.NewShardedKV(shards, procs, waitfree.NewSwapFetchAndCons)
+	kv.Invoke(0, waitfree.Op{Kind: "put", Args: []int64{7, 700}})
+	kv.Invoke(1, waitfree.Op{Kind: "put", Args: []int64{8, 800}})
+	fmt.Println(kv.Invoke(0, waitfree.Op{Kind: "get", Args: []int64{8}}))
+	fmt.Println(kv.Invoke(1, waitfree.Op{Kind: "len"}))
+	// Output:
+	// 800
+	// 2
+}
+
 func ExampleUniversal_Handle() {
 	u := waitfree.New(waitfree.Counter{}, waitfree.NewSwapFetchAndCons(), 2)
 	h := u.Handle(0)
