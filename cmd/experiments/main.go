@@ -6,6 +6,8 @@
 //
 // The verification experiments (exhaustive checking, synthesis) live in
 // `go test` and `cmd/hierarchy` / `cmd/impossibility`.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

@@ -6,6 +6,8 @@
 // It runs the same counter workload twice — once over a lock, once over the
 // universal construction — while process 0 repeatedly stalls mid-operation,
 // and reports how far the healthy processes got.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

@@ -1,0 +1,162 @@
+// Command wfvet audits the repo's wait-freedom claims: it loads the
+// packages named by its arguments (./... by default), runs the
+// internal/wfcheck analyzers — blocking-construct reachability from
+// //wf:waitfree entry points, atomic/plain mixed field access, and seqspec
+// transition-function purity — and exits non-zero when any claim is
+// violated.
+//
+// Usage:
+//
+//	go run ./cmd/wfvet ./...          # audit the annotated claims
+//	go run ./cmd/wfvet -all ./...     # audit mode: treat every function as claiming wait-freedom
+//	go run ./cmd/wfvet -v ./internal/core
+//
+// Exit status: 0 clean, 1 violations found, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"waitfree/internal/wfcheck"
+)
+
+func main() {
+	all := flag.Bool("all", false, "audit mode: treat every unannotated function as wf:waitfree")
+	verbose := flag.Bool("v", false, "report per-package entry-point and type-error counts")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfvet [-all] [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := wfcheck.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := wfcheck.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	dirs, err := expand(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	conf := wfcheck.Config{All: *all}
+	var total int
+	packages := 0
+	for _, dir := range dirs {
+		p, err := loader.LoadDir(dir)
+		if err == wfcheck.ErrNoGoFiles {
+			continue
+		}
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", dir, err))
+		}
+		packages++
+		if len(p.TypeErrors) > 0 {
+			fmt.Fprintf(os.Stderr, "wfvet: %s: %d type errors; analysis may be incomplete\n", p.Path, len(p.TypeErrors))
+			if *verbose {
+				for _, e := range p.TypeErrors {
+					fmt.Fprintf(os.Stderr, "wfvet: \t%v\n", e)
+				}
+			}
+		}
+		diags := conf.Run(p)
+		for _, d := range diags {
+			fmt.Println(rel(cwd, d))
+		}
+		total += len(diags)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "wfvet: %s: %d findings\n", p.Path, len(diags))
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d violations in %d packages\n", total, packages)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "wfvet: %d packages clean\n", packages)
+	}
+}
+
+// rel renders a diagnostic with its filename relative to the working
+// directory, matching go vet's output shape.
+func rel(cwd string, d wfcheck.Diagnostic) string {
+	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+// expand resolves package patterns (dir, dir/..., ./...) to directories
+// containing Go files, skipping testdata, vendor and hidden trees.
+func expand(cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+			if pat == "" || pat == "." {
+				pat = cwd
+			}
+		}
+		base, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+	os.Exit(2)
+}

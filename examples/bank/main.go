@@ -7,6 +7,8 @@
 // holding the lock freezes the whole bank. The universal construction gives
 // atomic transfers where a stalled teller harms nobody — and money is
 // conserved either way, which this example verifies.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

@@ -8,6 +8,8 @@
 // move and swap, n-register assignment, and the (2n-2)-process two-phase
 // assignment — and checks that each protocol elects a single leader even
 // when some candidates crash before voting.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

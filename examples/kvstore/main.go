@@ -5,6 +5,8 @@
 // truncation a reader replays the whole history, while with it no replay
 // exceeds the number of processes. This example runs the same workload both
 // ways and prints the measured replay statistics.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

@@ -10,6 +10,8 @@
 // checksum over the history it observed. Afterwards the chains are
 // validated against the final log: every observed view must be a prefix of
 // history (Lemma 24's coherence), so every checksum re-verifies.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

@@ -5,6 +5,8 @@
 // but the universal construction over any consensus object does it
 // mechanically (Theorem 26). Here four producers and four consumers share a
 // queue built from compare-and-swap consensus.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
 package main
 
 import (

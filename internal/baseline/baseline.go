@@ -4,6 +4,8 @@
 // section — a page fault, an exhausted quantum, a crash (Section 1) —
 // blocks every other process. The benchmarks and examples contrast this
 // with the wait-free universal construction under injected delays.
+//
+//wf:blocking lock-based strawman (Section 1): a stalled critical-section holder blocks every other process by design
 package baseline
 
 import (

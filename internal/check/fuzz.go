@@ -57,6 +57,7 @@ func Fuzz(p model.Protocol, obj model.Object, trials int, seed int64, opts Optio
 		for pid := 0; pid < n; pid++ {
 			locals[pid] = p.Init(pid, model.Value(inputs[pid]))
 		}
+		//wf:bounded every iteration steps one undecided live process and the per-process step budget caps total steps at n*StepBudget
 		for {
 			var ready []int
 			for _, pid := range live {

@@ -13,6 +13,8 @@
 // combined delta once, and responses are decombined on the way back as
 // prefix sums — exactly the decomposition a hardware combining switch
 // stores in its wait buffer.
+//
+//wf:blocking synchronous fabric simulation: requests traverse channels and a wave closes only when the fabric drains them
 package combine
 
 import (
@@ -103,6 +105,7 @@ func (net *Network) fabric() {
 		seen := map[int]bool{wave[0].pid: true}
 		patience := 3
 	gather:
+		//wf:bounded at most n admissions (seen caps one request per port) plus 3 patience decrements; every iteration consumes one of the two
 		for len(wave) < net.n {
 			select {
 			case r := <-net.in:

@@ -10,6 +10,8 @@
 // returns the same agreed value, which is the input of some process that
 // participated. Decide is wait-free: it completes in a bounded number of
 // steps regardless of the other processes' speeds or failures.
+//
+//wf:waitfree
 package consensus
 
 import (

@@ -15,6 +15,8 @@
 // The strongly-wait-free refinement (Section 4.1) has each process replace
 // the cdr of its own log entry with the state it reconstructed, bounding
 // every replay at n entries.
+//
+//wf:waitfree
 package core
 
 import (

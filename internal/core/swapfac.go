@@ -32,6 +32,8 @@ var _ FetchAndCons = (*SwapFAC)(nil)
 
 // FetchAndCons implements FetchAndCons in one (simulated) memory-to-memory
 // swap: anchor <-> cell.cdr.
+//
+//wf:bounded one simulated primitive step: the gate encloses exactly the constant-time anchor/cdr exchange (Theorem 16 substitution, see the type doc)
 func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
 	cell := &Node{Entry: e}
 

@@ -136,6 +136,7 @@ func (u *Universal) readFast(op seqspec.Op) int64 {
 func (u *Universal) replay(list *Node) seqspec.State {
 	var pending []*Entry
 	var state seqspec.State
+	//wf:bounded walks to the first snapshotted entry: at most snapEvery un-snapshotted entries per live process (Section 4.1's strong wait-freedom bound), or the whole finite list without truncation
 	for n := list; ; n = n.Rest {
 		if n == nil {
 			state = u.seq.Init()
@@ -155,6 +156,7 @@ func (u *Universal) replay(list *Node) seqspec.State {
 
 	u.replayOps.Add(1)
 	u.replayCells.Add(int64(len(pending)))
+	//wf:bounded monotone-max CAS: a retry means another process raised the max, which happens at most once per distinct replay length
 	for {
 		max := u.replayMax.Load()
 		if int64(len(pending)) <= max || u.replayMax.CompareAndSwap(max, int64(len(pending))) {

@@ -9,6 +9,8 @@
 // (one not really-time-preceded by any other pending operation), apply it to
 // the sequential specification, match the response, recurse; memoize on the
 // (remaining-set, state) pair.
+//
+//wf:blocking test instrumentation: history recording takes a lock and the checker is an offline search, not a protocol
 package linearize
 
 import (

@@ -9,6 +9,8 @@
 // delivery, in contrast, solves n-process consensus for every n
 // (internal/protocols.BroadcastConsensus is the model-checked form;
 // Consensus below is the native form).
+//
+//wf:blocking simulated message-passing substrate: delivery waits on channel communication by construction
 package msgchan
 
 import (

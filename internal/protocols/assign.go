@@ -63,6 +63,7 @@ func Assign(n int) Instance {
 	// nextProbe advances vars[4] to the next member of A other than the
 	// candidate, returning false when the candidate has survived all probes.
 	nextProbe := func(v []model.Value, n int) bool {
+		//wf:bounded v[4] strictly increases each iteration and the loop exits once it reaches n
 		for {
 			v[4]++
 			if int(v[4]) >= n {
@@ -77,6 +78,7 @@ func Assign(n int) Instance {
 	// probe; the protocol invariant guarantees a winner exists, so running
 	// out of candidates is a model bug.
 	nextCandidate := func(v []model.Value, n int) {
+		//wf:bounded v[3] strictly increases each iteration and the scan panics rather than pass n
 		for {
 			v[3]++
 			if int(v[3]) >= n {

@@ -105,6 +105,7 @@ func Assign2Phase(m int) Instance {
 	// candidate's probe set (mask members, restricted by sameGroup) and is
 	// not the candidate; it returns false if none remains.
 	advanceProbe := func(v []model.Value, sameGroup bool) bool {
+		//wf:bounded v[4] strictly increases each iteration and the loop exits once it reaches nProcs
 		for {
 			v[4]++
 			if int(v[4]) >= nProcs {
@@ -124,6 +125,7 @@ func Assign2Phase(m int) Instance {
 	// optionally restricted to the given group (-1 for any), and resets the
 	// probe.
 	advanceCandidate := func(v []model.Value, onlyGroup int) {
+		//wf:bounded v[3] strictly increases each iteration and the scan panics rather than pass nProcs
 		for {
 			v[3]++
 			if int(v[3]) >= nProcs {

@@ -16,6 +16,8 @@
 // runs over, ready for internal/check to verify exhaustively. By the paper's
 // election convention, decision values are inputs, inputs are announced in
 // shared registers, and protocols internally elect a winning process id.
+//
+//wf:waitfree
 package protocols
 
 import (

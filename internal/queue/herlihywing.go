@@ -39,6 +39,8 @@ func NewHerlihyWing(capacity int) *HerlihyWing {
 // Enq appends v (which must not equal the reserved empty marker),
 // returning false if the backing array is exhausted. Enq is wait-free: one
 // fetch-and-add and one write.
+//
+//wf:waitfree
 func (q *HerlihyWing) Enq(v int64) bool {
 	i := q.back.Add(1) - 1
 	if i >= int64(len(q.items)) {
@@ -50,6 +52,12 @@ func (q *HerlihyWing) Enq(v int64) bool {
 
 // Deq removes and returns the earliest available item. It busy-waits while
 // the queue is empty — the non-wait-free operation the paper calls out.
+// No annotation bound can fix this: a wait-free deq on an empty queue is
+// impossible in this form (Corollary 13 bars a wait-free augmented queue
+// over read, fetch-and-add and swap, and an empty deq must wait for an
+// enqueuer by FIFO semantics). Callers that need wait-freedom use TryDeq.
+//
+//wf:blocking busy-waits for an enqueuer while empty (Section 3.4); wait-free callers use TryDeq
 func (q *HerlihyWing) Deq() int64 {
 	for {
 		if v, ok := q.TryDeq(); ok {
@@ -62,6 +70,8 @@ func (q *HerlihyWing) Deq() int64 {
 // TryDeq performs one scan of the occupied range, removing the first item
 // it can capture; ok is false if the scan found the queue empty. Each scan
 // is bounded, so TryDeq is wait-free even though Deq is not.
+//
+//wf:waitfree
 func (q *HerlihyWing) TryDeq() (v int64, ok bool) {
 	n := q.back.Load()
 	if n > int64(len(q.items)) {

@@ -8,6 +8,8 @@
 // existence and asks what they can implement. Natively they are realized
 // with an internal mutex gate, the same substitution as registers.Memory:
 // each operation is one atomic primitive step.
+//
+//wf:bounded each gated operation is one simulated primitive step of the paper's substrate (DESIGN.md substitution table)
 package queue
 
 import (
@@ -226,6 +228,8 @@ func NewLamport(capacity int) *Lamport {
 
 // Enq appends v, reporting false if the queue is full. Only one goroutine
 // may call Enq.
+//
+//wf:waitfree
 func (q *Lamport) Enq(v int64) bool {
 	t := q.tail.Load()
 	if t-q.head.Load() == int64(len(q.buf)) {
@@ -238,6 +242,8 @@ func (q *Lamport) Enq(v int64) bool {
 
 // Deq removes and returns the head item, or Empty if the queue is empty.
 // Only one goroutine may call Deq.
+//
+//wf:waitfree
 func (q *Lamport) Deq() int64 {
 	h := q.head.Load()
 	if h == q.tail.Load() {
@@ -249,6 +255,8 @@ func (q *Lamport) Deq() int64 {
 }
 
 // Len returns the current number of items (approximate under concurrency).
+//
+//wf:waitfree
 func (q *Lamport) Len() int {
 	return int(q.tail.Load() - q.head.Load())
 }

@@ -23,6 +23,8 @@
 // Plugged into the universal construction (internal/core.ConsFAC), this
 // yields a randomized wait-free implementation of arbitrary objects from
 // read/write registers — completing the paper's open question in code.
+//
+//wf:blocking randomized protocol: terminates with probability 1 in expected O(n^2) rounds, not in a bounded number of steps
 package randcons
 
 import (

@@ -16,6 +16,8 @@
 //     (Sections 3.5 and 3.6): hardware primitives Go does not have. Memory
 //     simulates them behind an internal gate (see Memory's documentation
 //     and DESIGN.md's substitution table).
+//
+//wf:bounded each gated operation is one simulated primitive step (DESIGN.md substitution table)
 package registers
 
 import (
@@ -31,9 +33,13 @@ type Atomic struct {
 }
 
 // Load returns the register's current value.
+//
+//wf:waitfree
 func (r *Atomic) Load() int64 { return r.v.Load() }
 
 // Store sets the register's value.
+//
+//wf:waitfree
 func (r *Atomic) Store(v int64) { r.v.Store(v) }
 
 // RMW is a register supporting read-modify-write operations (Section 3.2):
@@ -51,13 +57,19 @@ func NewRMW(init int64) *RMW {
 }
 
 // Load returns the current value (the trivial RMW with f = identity).
+//
+//wf:waitfree
 func (r *RMW) Load() int64 { return r.v.Load() }
 
 // Store sets the value.
+//
+//wf:waitfree
 func (r *RMW) Store(v int64) { r.v.Store(v) }
 
 // Apply atomically replaces the value v with f(v) and returns v. f must be
 // pure; it may be called multiple times.
+//
+//wf:blocking lock-free CAS retry, unbounded under contention; one RMW instruction in the paper's model (Section 3.2)
 func (r *RMW) Apply(f func(int64) int64) int64 {
 	for {
 		old := r.v.Load()
@@ -68,19 +80,27 @@ func (r *RMW) Apply(f func(int64) int64) int64 {
 }
 
 // TestAndSet sets the register to 1 and returns the old value.
+//
+//wf:blocking delegates to the lock-free Apply retry loop; one instruction in the paper's model
 func (r *RMW) TestAndSet() int64 {
 	return r.Apply(func(int64) int64 { return 1 })
 }
 
 // Swap stores v and returns the old value.
+//
+//wf:waitfree
 func (r *RMW) Swap(v int64) int64 { return r.v.Swap(v) }
 
 // FetchAndAdd adds d and returns the old value.
+//
+//wf:waitfree
 func (r *RMW) FetchAndAdd(d int64) int64 { return r.v.Add(d) - d }
 
 // CompareAndSwap stores new if the current value is old, returning the value
 // observed before the operation (the paper's compare-and-swap returns the
 // old value rather than a boolean).
+//
+//wf:blocking lock-free CAS retry, unbounded under contention; one instruction in the paper's model (Theorem 7)
 func (r *RMW) CompareAndSwap(old, new int64) int64 {
 	for {
 		cur := r.v.Load()
@@ -115,6 +135,8 @@ func NewSafeRegister(yield func()) *SafeRegister {
 }
 
 // Write stores v non-atomically.
+//
+//wf:waitfree
 func (r *SafeRegister) Write(v int64) {
 	u := uint64(v)
 	r.lo.Store(uint32(u))
@@ -124,6 +146,8 @@ func (r *SafeRegister) Write(v int64) {
 
 // Read returns the register's value; overlapping a Write it may return a
 // value that was never written.
+//
+//wf:waitfree
 func (r *SafeRegister) Read() int64 {
 	lo := r.lo.Load()
 	hi := r.hi.Load()

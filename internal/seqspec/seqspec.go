@@ -11,6 +11,8 @@
 // States are mutable for efficiency, with explicit Clone for the snapshot
 // (strongly-wait-free) variant and Key for the linearizability checker's
 // memoization.
+//
+//wf:waitfree
 package seqspec
 
 import (

@@ -16,6 +16,8 @@
 // Universal), while cross-shard operations (len-style aggregates) read each
 // shard at a different instant and return a sum that no single moment may
 // have exhibited.
+//
+//wf:waitfree
 package shard
 
 import (

@@ -1,0 +1,180 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Mode is the wait-freedom claim a directive makes.
+type Mode int
+
+// Modes, in increasing order of suspicion.
+const (
+	ModeNone     Mode = iota // no directive: not an entry point, but traversed if reached
+	ModeWaitFree             // wf:waitfree — analyzed entry point
+	ModeBounded              // wf:bounded — trusted manual boundedness argument
+	ModeBlocking             // wf:blocking — intentional; unreachable from wait-free code
+)
+
+// String names the mode as its directive spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeWaitFree:
+		return "wf:waitfree"
+	case ModeBounded:
+		return "wf:bounded"
+	case ModeBlocking:
+		return "wf:blocking"
+	}
+	return "unannotated"
+}
+
+// Directive is one parsed wf: annotation.
+type Directive struct {
+	Mode Mode
+	Arg  string // reason for wf:blocking, bound for wf:bounded
+	Pos  token.Pos
+}
+
+// Annotations holds every wf: directive parsed from a package's non-test
+// files, plus any malformed-annotation errors.
+type Annotations struct {
+	// Pkg is the package-level default, from directives on package clauses.
+	Pkg *Directive
+	// Funcs maps annotated function declarations to their directives.
+	Funcs map[*ast.FuncDecl]*Directive
+	// Errors reports conflicting, malformed or unknown directives.
+	Errors []Diagnostic
+
+	fset *token.FileSet
+	// boundedLines records, per file, the lines on which a wf:bounded
+	// directive comment sits; a loop is exempt if such a comment is on the
+	// line directly above it or trails on the loop's own line.
+	boundedLines map[string]map[int]bool
+}
+
+// Effective resolves the directive governing fd: its own annotation if
+// present, the package-level default otherwise.
+func (a *Annotations) Effective(fd *ast.FuncDecl) Directive {
+	if d := a.Funcs[fd]; d != nil {
+		return *d
+	}
+	if a.Pkg != nil {
+		return *a.Pkg
+	}
+	return Directive{Mode: ModeNone}
+}
+
+// LoopBounded reports whether a loop starting at pos carries a wf:bounded
+// justification (a directive comment directly above or on the same line).
+func (a *Annotations) LoopBounded(pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	lines := a.boundedLines[p.Filename]
+	return lines[p.Line-1] || lines[p.Line]
+}
+
+// parseAnnotations extracts wf: directives from the files' comments.
+func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{
+		Funcs:        make(map[*ast.FuncDecl]*Directive),
+		fset:         fset,
+		boundedLines: make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		// Record wf:bounded comment lines for loop suppression, and catch
+		// malformed directives anywhere in the file (doc comments included;
+		// a doc group's lines never abut a loop, so the overlap is inert).
+		// Errors from this sweep are deduplicated below against the doc-comment
+		// passes, which parse the same groups again.
+		for _, cg := range f.Comments {
+			for _, d := range a.parseGroup(cg) {
+				if d.Mode == ModeBounded {
+					p := fset.Position(d.Pos)
+					if a.boundedLines[p.Filename] == nil {
+						a.boundedLines[p.Filename] = make(map[int]bool)
+					}
+					a.boundedLines[p.Filename][p.Line] = true
+				}
+			}
+		}
+		// Package-level directives sit on the package clause's doc comment.
+		for _, d := range a.parseGroup(f.Doc) {
+			if a.Pkg == nil {
+				a.Pkg = d
+			} else if a.Pkg.Mode != d.Mode {
+				a.errorf(d.Pos, "package %s: conflicting %s and %s directives", f.Name.Name, a.Pkg.Mode, d.Mode)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range a.parseGroup(fd.Doc) {
+				if prev := a.Funcs[fd]; prev == nil {
+					a.Funcs[fd] = d
+				} else if prev.Mode != d.Mode {
+					a.errorf(d.Pos, "func %s: conflicting %s and %s directives", fd.Name.Name, prev.Mode, d.Mode)
+				}
+			}
+		}
+	}
+	seen := make(map[Diagnostic]bool, len(a.Errors))
+	dedup := a.Errors[:0]
+	for _, e := range a.Errors {
+		if !seen[e] {
+			seen[e] = true
+			dedup = append(dedup, e)
+		}
+	}
+	a.Errors = dedup
+	return a
+}
+
+// parseGroup extracts the directives of one comment group, recording
+// malformed ones as errors. Only line comments with no space after //
+// count, matching the //go: directive convention; `// wf:waitfree` is prose.
+func (a *Annotations) parseGroup(cg *ast.CommentGroup) []*Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []*Directive
+	for _, c := range cg.List {
+		body, ok := strings.CutPrefix(c.Text, "//wf:")
+		if !ok {
+			continue
+		}
+		verb, arg, _ := strings.Cut(body, " ")
+		arg = strings.TrimSpace(arg)
+		d := &Directive{Pos: c.Pos(), Arg: arg}
+		switch verb {
+		case "waitfree":
+			d.Mode = ModeWaitFree
+		case "blocking":
+			d.Mode = ModeBlocking
+			if arg == "" {
+				a.errorf(c.Pos(), "wf:blocking requires a reason")
+			}
+		case "bounded":
+			d.Mode = ModeBounded
+			if arg == "" {
+				a.errorf(c.Pos(), "wf:bounded requires a stated bound")
+			}
+		default:
+			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking or bounded)", verb)
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// errorf records an annotation error at pos.
+func (a *Annotations) errorf(pos token.Pos, format string, args ...any) {
+	a.Errors = append(a.Errors, Diagnostic{
+		Pos: a.fset.Position(pos), Analyzer: "annot",
+		Message: fmt.Sprintf(format, args...),
+	})
+}

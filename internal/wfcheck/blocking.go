@@ -1,0 +1,242 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// blockedCalls maps the fully-qualified names of standard-library calls
+// that can stall on another process to a short description. TryLock and
+// buffered-channel probes are absent on purpose: they return.
+var blockedCalls = map[string]string{
+	"(*sync.Mutex).Lock":     "blocks while another process holds the mutex",
+	"(*sync.RWMutex).Lock":   "blocks while another process holds the lock",
+	"(*sync.RWMutex).RLock":  "blocks while a writer holds the lock",
+	"(*sync.WaitGroup).Wait": "waits for other processes to finish",
+	"(*sync.Cond).Wait":      "waits for another process's signal",
+	"time.Sleep":             "stalls unconditionally",
+}
+
+// analyzeBlocking builds the per-package call graph from the wf:waitfree
+// entry points (every unannotated function too, in audit mode) and flags
+// every blocking construct transitively reachable from them.
+func analyzeBlocking(p *Package, all bool) []Diagnostic {
+	b := &blockingPass{
+		p:       p,
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		visited: make(map[*ast.FuncDecl]bool),
+	}
+	var order []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				b.decls[obj] = fd
+			}
+			order = append(order, fd)
+		}
+	}
+	for _, fd := range order {
+		mode := p.Annots.Effective(fd).Mode
+		if mode == ModeWaitFree || (all && mode == ModeNone) {
+			b.visit(fd, fd)
+		}
+	}
+	return b.diags
+}
+
+type blockingPass struct {
+	p       *Package
+	decls   map[types.Object]*ast.FuncDecl
+	visited map[*ast.FuncDecl]bool
+	diags   []Diagnostic
+}
+
+// visit scans fd once, attributing findings to the entry point that first
+// reached it.
+func (b *blockingPass) visit(fd, entry *ast.FuncDecl) {
+	if b.visited[fd] {
+		return
+	}
+	b.visited[fd] = true
+	b.scan(fd, entry)
+}
+
+// scan walks one function body for blocking constructs and same-package
+// calls to traverse.
+func (b *blockingPass) scan(fd, entry *ast.FuncDecl) {
+	// First pass: account for channel operations that appear as the comm
+	// statement of a select case — they do not block on their own if the
+	// select has a default; if it has none, the select itself is the finding.
+	accounted := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					accounted[m] = true
+				}
+				return true
+			})
+		}
+		if !hasDefault {
+			b.report(fd, entry, sel.Pos(), "select without a default case blocks until another process communicates")
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !accounted[n] {
+				b.report(fd, entry, n.Pos(), "channel send outside a select with default can block on a slow receiver")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !accounted[n] {
+				b.report(fd, entry, n.Pos(), "channel receive outside a select with default blocks until another process sends")
+			}
+		case *ast.RangeStmt:
+			if t := b.p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					b.report(fd, entry, n.Pos(), "ranging over a channel blocks between messages")
+				}
+			}
+		case *ast.ForStmt:
+			b.checkLoop(fd, entry, n)
+		case *ast.CallExpr:
+			b.checkCall(fd, entry, n)
+		}
+		return true
+	})
+}
+
+// checkLoop applies the loop-shape rules: a loop with no exit condition is
+// unbounded unless annotated, and a conditioned loop that yields via
+// runtime.Gosched is a spin-wait on another process's progress. Loops whose
+// exit condition is local (three-clause scans, range over data) pass — the
+// analyzer is a conservative syntactic check, per Theorem 6's spirit of
+// trading completeness for decidability.
+func (b *blockingPass) checkLoop(fd, entry *ast.FuncDecl, loop *ast.ForStmt) {
+	if b.p.Annots.LoopBounded(loop.Pos()) {
+		return
+	}
+	if loop.Cond == nil {
+		b.report(fd, entry, loop.Pos(),
+			"unbounded loop: no exit condition; justify with //wf:bounded <bound> or restructure with helping")
+		return
+	}
+	if gosched := goschedIn(b.p, loop); gosched.IsValid() {
+		b.report(fd, entry, loop.Pos(),
+			"spin loop: runtime.Gosched marks waiting on another process's progress; justify with //wf:bounded <bound> or restructure with helping")
+	}
+}
+
+// goschedIn reports the position of a runtime.Gosched call directly inside
+// loop (not in nested loops, which are checked on their own).
+func goschedIn(p *Package, loop *ast.ForStmt) token.Pos {
+	found := token.NoPos
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			if f := calleeFunc(p, n); f != nil && f.FullName() == "runtime.Gosched" {
+				found = n.Pos()
+			}
+		}
+		return found == token.NoPos
+	})
+	return found
+}
+
+// checkCall flags blocking standard-library calls and traverses or flags
+// same-package callees according to their annotations.
+func (b *blockingPass) checkCall(fd, entry *ast.FuncDecl, call *ast.CallExpr) {
+	f := calleeFunc(b.p, call)
+	if f == nil {
+		return // conversion, builtin, or dynamic call through a function value
+	}
+	full := f.FullName()
+	if why, ok := blockedCalls[full]; ok {
+		name := strings.NewReplacer("(*", "", ")", "").Replace(full)
+		b.report(fd, entry, call.Pos(), fmt.Sprintf("calls %s: %s", name, why))
+		return
+	}
+	target := b.decls[f]
+	if target == nil {
+		return // other package or no body: trusted at the package boundary
+	}
+	switch d := b.p.Annots.Effective(target); d.Mode {
+	case ModeBlocking:
+		b.report(fd, entry, call.Pos(),
+			fmt.Sprintf("calls %s, annotated wf:blocking (%s)", b.funcName(target), d.Arg))
+	case ModeBounded:
+		// Trusted manual bound; do not descend.
+	case ModeWaitFree:
+		b.visit(target, target) // its own entry point; findings attribute to it
+	default:
+		b.visit(target, entry)
+	}
+}
+
+// report records a finding, naming the containing function and, when it
+// differs, the wait-free entry point that reaches it.
+func (b *blockingPass) report(fd, entry *ast.FuncDecl, pos token.Pos, msg string) {
+	where := b.funcName(fd)
+	label := "wf:waitfree"
+	if b.p.Annots.Effective(entry).Mode != ModeWaitFree {
+		label = "unannotated" // audit-mode entry, assumed wait-free
+	}
+	var context string
+	if fd != entry {
+		context = fmt.Sprintf(" (in %s, reached from %s %s)", where, label, b.funcName(entry))
+	} else {
+		context = fmt.Sprintf(" (in %s %s)", label, where)
+	}
+	b.diags = append(b.diags, Diagnostic{
+		Pos: b.p.Fset.Position(pos), Analyzer: "blocking",
+		Message: msg + context,
+	})
+}
+
+// funcName renders a declaration as pkg-local "F" or "(*T).M".
+func (b *blockingPass) funcName(fd *ast.FuncDecl) string {
+	if obj, ok := b.p.Info.Defs[fd.Name].(*types.Func); ok {
+		full := obj.FullName()
+		if b.p.TPkg != nil {
+			full = strings.ReplaceAll(full, b.p.TPkg.Path()+".", "")
+		}
+		return full
+	}
+	return fd.Name.Name
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for conversions, builtins and calls through function values.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

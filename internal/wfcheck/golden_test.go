@@ -1,0 +1,105 @@
+package wfcheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// TestGolden runs every analyzer over each fixture package under
+// testdata/src and compares the rendered diagnostics against the case's
+// .golden file. Run with -update to accept current output.
+func TestGolden(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range cases {
+		if !entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		t.Run(name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, terr := range p.TypeErrors {
+				t.Errorf("fixture does not type-check: %v", terr)
+			}
+			var b strings.Builder
+			for _, d := range (Config{}).Run(p) {
+				// Strip the absolute fixture dir everywhere, including inside
+				// messages that cite another position, so goldens are portable.
+				b.WriteString(strings.ReplaceAll(d.String(), dir+string(filepath.Separator), ""))
+				b.WriteString("\n")
+			}
+			got := b.String()
+
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestCleanFixtureIgnoresTestFiles pins the _test.go exclusion: the clean
+// fixture directory contains a harness_test.go full of blocking calls under
+// a package-wide wf:waitfree claim, and the loader must never read it.
+func TestCleanFixtureIgnoresTestFiles(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader read test file %s", name)
+		}
+	}
+	if ds := (Config{}).Run(p); len(ds) != 0 {
+		t.Errorf("clean fixture has findings: %v", ds)
+	}
+	if ds := (Config{All: true}).Run(p); len(ds) != 0 {
+		t.Errorf("clean fixture has audit-mode findings: %v", ds)
+	}
+}

@@ -1,0 +1,249 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// specMethods are the methods of seqspec.State and seqspec.Object whose
+// determinism the universal construction relies on: replays run Apply over
+// logged operations on every process independently, so any nondeterminism
+// forks the replicas' states silently.
+var stateMethods = map[string]bool{"Apply": true, "Clone": true, "Key": true}
+var objectMethods = map[string]bool{"Init": true, "ReadOnly": true, "Name": true}
+
+// nondetPackages are packages whose calls make a transition function
+// nondeterministic across replays.
+var nondetPackages = map[string]string{
+	"time":         "reads the clock",
+	"math/rand":    "draws randomness",
+	"math/rand/v2": "draws randomness",
+}
+
+// analyzeSpecPurity finds, in any package that defines implementations of
+// seqspec.State or seqspec.Object (the seqspec package itself included),
+// the transition methods of those implementations, and flags constructs
+// that break replay determinism: clock and randomness calls, goroutine
+// launches, channel operations, package-level state mutation, and map
+// iteration feeding output without a subsequent sort.
+func analyzeSpecPurity(p *Package) []Diagnostic {
+	stateIface, objectIface := seqspecInterfaces(p)
+	if stateIface == nil && objectIface == nil {
+		return nil
+	}
+	s := &specPass{
+		p:       p,
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		visited: make(map[*ast.FuncDecl]bool),
+	}
+	var roots []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				s.decls[obj] = fd
+			}
+			if fd.Recv == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			ptr := recv
+			if _, ok := recv.(*types.Pointer); !ok {
+				ptr = types.NewPointer(recv)
+			}
+			isState := stateIface != nil && types.Implements(ptr, stateIface)
+			isObject := objectIface != nil && types.Implements(ptr, objectIface)
+			if (isState && stateMethods[fd.Name.Name]) || (isObject && objectMethods[fd.Name.Name]) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	for _, fd := range roots {
+		s.visit(fd)
+	}
+	return s.diags
+}
+
+// seqspecInterfaces locates the State and Object interfaces of a seqspec
+// package among this package and its direct imports; nil, nil when absent
+// (then nothing here can be a spec implementation).
+func seqspecInterfaces(p *Package) (state, object *types.Interface) {
+	lookup := func(tp *types.Package) {
+		if tp == nil || (tp.Name() != "seqspec" && !strings.HasSuffix(tp.Path(), "/seqspec")) {
+			return
+		}
+		if obj, ok := tp.Scope().Lookup("State").(*types.TypeName); ok && state == nil {
+			state, _ = obj.Type().Underlying().(*types.Interface)
+		}
+		if obj, ok := tp.Scope().Lookup("Object").(*types.TypeName); ok && object == nil {
+			object, _ = obj.Type().Underlying().(*types.Interface)
+		}
+	}
+	lookup(p.TPkg)
+	if p.TPkg != nil {
+		for _, imp := range p.TPkg.Imports() {
+			lookup(imp)
+		}
+	}
+	return state, object
+}
+
+type specPass struct {
+	p       *Package
+	decls   map[types.Object]*ast.FuncDecl
+	visited map[*ast.FuncDecl]bool
+	diags   []Diagnostic
+}
+
+// visit scans one transition function and, transitively, the same-package
+// helpers it calls.
+func (s *specPass) visit(fd *ast.FuncDecl) {
+	if s.visited[fd] {
+		return
+	}
+	s.visited[fd] = true
+
+	// Positions of sort calls, for suppressing collect-then-sort map ranges.
+	var sortCalls []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(s.p, call); f != nil && f.Pkg() != nil {
+			if path := f.Pkg().Path(); path == "sort" || path == "slices" {
+				sortCalls = append(sortCalls, call.Pos())
+			}
+		}
+		return true
+	})
+	sortedAfter := func(pos token.Pos) bool {
+		for _, sp := range sortCalls {
+			if sp > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			s.report(fd, n.Pos(), "launches a goroutine: replays must be single-threaded and repeatable")
+		case *ast.SendStmt:
+			s.report(fd, n.Pos(), "channel send: transition functions must not communicate")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.report(fd, n.Pos(), "channel receive: transition functions must not communicate")
+			}
+		case *ast.SelectStmt:
+			s.report(fd, n.Pos(), "select: transition functions must not communicate")
+		case *ast.CallExpr:
+			if f := calleeFunc(s.p, n); f != nil {
+				if f.Pkg() != nil {
+					path := f.Pkg().Path()
+					// Methods of time values (UnixNano, Sub, ...) are pure
+					// conversions; the clock reads are time's package-level
+					// functions. rand methods all draw from the generator.
+					recv := f.Type().(*types.Signature).Recv()
+					if why, ok := nondetPackages[path]; ok && (recv == nil || path != "time") {
+						s.report(fd, n.Pos(), fmt.Sprintf("calls %s: %s, so replays diverge", f.FullName(), why))
+					}
+				}
+				if target := s.decls[f]; target != nil {
+					s.visit(target)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				s.checkGlobalWrite(fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			s.checkGlobalWrite(fd, n.X)
+		case *ast.RangeStmt:
+			s.checkMapRange(fd, n, sortedAfter)
+		}
+		return true
+	})
+}
+
+// checkGlobalWrite flags assignments whose target resolves to a
+// package-level variable.
+func (s *specPass) checkGlobalWrite(fd *ast.FuncDecl, lhs ast.Expr) {
+	var obj types.Object
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj = s.p.Info.Uses[e]
+		if obj == nil {
+			obj = s.p.Info.Defs[e]
+		}
+	case *ast.SelectorExpr:
+		if fieldOf(s.p, e) != nil {
+			return // field of some value; receiver mutation is the point
+		}
+		obj = s.p.Info.Uses[e.Sel]
+	default:
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		s.report(fd, lhs.Pos(), fmt.Sprintf("mutates package-level variable %s: state must live in the receiver", v.Name()))
+	}
+}
+
+// checkMapRange flags map iterations whose body feeds output (append, or
+// writer calls) unless the function sorts afterwards: Go randomizes map
+// order, so unsorted iteration makes Apply/Key nondeterministic. Pure folds
+// (min/max scans, map-to-map copies) are order-insensitive and pass.
+func (s *specPass) checkMapRange(fd *ast.FuncDecl, rng *ast.RangeStmt, sortedAfter func(token.Pos) bool) {
+	t := s.p.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink := token.NoPos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				sink = call.Pos()
+			}
+		case *ast.SelectorExpr:
+			if strings.HasPrefix(fun.Sel.Name, "Write") || strings.HasPrefix(fun.Sel.Name, "Fprint") {
+				sink = call.Pos()
+			}
+		}
+		return sink == token.NoPos
+	})
+	if sink.IsValid() && !sortedAfter(rng.Pos()) {
+		s.report(fd, sink,
+			"map iteration order feeds output and nothing sorts afterwards: iterate a sorted key slice instead")
+	}
+}
+
+// report records a purity finding against the transition method fd.
+func (s *specPass) report(fd *ast.FuncDecl, pos token.Pos, msg string) {
+	s.diags = append(s.diags, Diagnostic{
+		Pos: s.p.Fset.Position(pos), Analyzer: "specpure",
+		Message: fmt.Sprintf("%s (in spec function %s)", msg, fd.Name.Name),
+	})
+}

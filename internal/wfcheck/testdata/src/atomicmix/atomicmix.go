@@ -1,0 +1,26 @@
+// Package atomicmix exercises the mixed atomic/plain field-access rule.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 // accessed both atomically and plainly: flagged
+	misses int64 // accessed only plainly: fine
+}
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+	s.misses++
+}
+
+func (s *stats) snapshot() (int64, int64) {
+	return s.hits, s.misses // violation on hits: plain read of an atomic field
+}
+
+type modern struct {
+	n atomic.Int64
+}
+
+func (m *modern) bump() int64 {
+	return m.n.Add(1) // fine: atomic.Int64 cannot be accessed plainly
+}

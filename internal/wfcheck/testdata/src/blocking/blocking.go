@@ -1,0 +1,58 @@
+// Package blocking exercises the blocked-call and call-graph rules.
+package blocking
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+//wf:waitfree
+func (c *counter) Inc() {
+	c.mu.Lock() // violation: Mutex.Lock in a waitfree function
+	c.n++
+	c.mu.Unlock()
+}
+
+//wf:waitfree
+func WaitAll(wg *sync.WaitGroup) {
+	wg.Wait() // violation: WaitGroup.Wait
+}
+
+//wf:waitfree
+func Nap() {
+	time.Sleep(time.Millisecond) // violation: unconditional stall
+}
+
+// helper is unannotated: reached from a waitfree entry it is scanned, and
+// its findings name the entry that reached it.
+func helper(mu *sync.RWMutex) {
+	mu.RLock() // violation, attributed to ReadPath
+	mu.RUnlock()
+}
+
+//wf:waitfree
+func ReadPath(mu *sync.RWMutex) {
+	helper(mu)
+}
+
+//wf:blocking sleeps on purpose, this is the fixture's slow path
+func slowPath() {
+	time.Sleep(time.Second)
+}
+
+//wf:bounded the body is one trusted constant-time step
+func gatedStep(mu *sync.Mutex) {
+	mu.Lock() // not a violation: wf:bounded bodies are trusted
+	mu.Unlock()
+}
+
+//wf:waitfree
+func Mixed(mu *sync.Mutex) {
+	slowPath()    // violation: calls a wf:blocking function
+	gatedStep(mu) // fine: wf:bounded callee is trusted
+}

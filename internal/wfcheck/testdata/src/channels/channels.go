@@ -1,0 +1,51 @@
+// Package channels exercises the channel-operation rules.
+package channels
+
+//wf:waitfree
+func Send(ch chan int, v int) {
+	ch <- v // violation: bare send can block on a slow receiver
+}
+
+//wf:waitfree
+func Recv(ch chan int) int {
+	return <-ch // violation: bare receive blocks until someone sends
+}
+
+//wf:waitfree
+func Drain(ch chan int) int {
+	sum := 0
+	for v := range ch { // violation: ranging over a channel blocks
+		sum += v
+	}
+	return sum
+}
+
+//wf:waitfree
+func NoDefault(a, b chan int) int {
+	select { // violation: no default case, blocks until a peer communicates
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//wf:waitfree
+func TrySend(ch chan int, v int) bool {
+	select { // fine: the default case makes this a non-blocking probe
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+//wf:waitfree
+func TryRecv(ch chan int) (int, bool) {
+	select { // fine
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,26 @@
+// Package clean is fully annotated and violation-free.
+//
+//wf:waitfree
+package clean
+
+import "sync/atomic"
+
+// Counter is a wait-free counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc is one fetch-and-add.
+func (c *Counter) Inc() int64 { return c.n.Add(1) }
+
+// Load is one read.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Sum scans a bounded slice.
+func Sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

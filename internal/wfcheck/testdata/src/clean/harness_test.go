@@ -1,0 +1,21 @@
+// This file would be a violation factory if the loader read _test.go files:
+// the package claims wf:waitfree and the harness blocks freely. LoadDir
+// skips it, so the clean fixture stays clean.
+package clean
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHarnessMayBlock(t *testing.T) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+// Package conflict exercises malformed-annotation reporting.
+package conflict
+
+//wf:waitfree
+//wf:blocking claims both at once
+func Both() {} // error: conflicting directives on one declaration
+
+//wf:blocking
+func NoReason() {} // error: wf:blocking requires a reason
+
+//wf:bounded
+func NoBound() {} // error: wf:bounded requires a stated bound
+
+//wf:sometimes fast
+func Unknown() {} // error: unknown directive verb
+
+// wf:waitfree — a space after the slashes makes this prose, not a directive.
+func Prose() {}

@@ -1,0 +1,46 @@
+// Package loops exercises the loop-shape rules.
+package loops
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+//wf:waitfree
+func Spin(flag *atomic.Bool) {
+	for !flag.Load() { // violation: spin loop yielding to other processes
+		runtime.Gosched()
+	}
+}
+
+//wf:waitfree
+func Forever(flag *atomic.Bool) {
+	for { // violation: no exit condition
+		if flag.Load() {
+			return
+		}
+	}
+}
+
+//wf:waitfree
+func Justified(flag *atomic.Bool) int {
+	n := 0
+	//wf:bounded the fixture promises at most one other process raises the flag
+	for !flag.Load() {
+		n++
+		runtime.Gosched()
+	}
+	return n
+}
+
+//wf:waitfree
+func Scan(xs []int64) int64 {
+	var sum int64
+	for i := 0; i < len(xs); i++ { // fine: locally bounded three-clause loop
+		sum += xs[i]
+	}
+	for _, x := range xs { // fine: range over data
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,82 @@
+// Package specpure exercises the transition-determinism rules against the
+// real seqspec interfaces.
+package specpure
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"waitfree/internal/seqspec"
+)
+
+// Dirty is a deliberately impure spec implementation.
+type Dirty struct {
+	m map[string]int64
+}
+
+var applyCount int64 // package-level state a transition must not touch
+
+// Apply breaks determinism three ways.
+func (d *Dirty) Apply(op seqspec.Op) int64 {
+	applyCount++ // violation: mutates package-level state
+	if op.Kind == "stamp" {
+		return time.Now().UnixNano() // violation: reads the clock
+	}
+	d.m[op.Kind] = op.Arg(0)
+	return 0
+}
+
+// Clone is clean.
+func (d *Dirty) Clone() seqspec.State {
+	m := make(map[string]int64, len(d.m))
+	for k, v := range d.m { // fine: map-to-map copy is order-insensitive
+		m[k] = v
+	}
+	return &Dirty{m: m}
+}
+
+// Key feeds map iteration order straight into the encoding.
+func (d *Dirty) Key() string {
+	var b strings.Builder
+	for k, v := range d.m {
+		b.WriteString(k + "=" + strconv.FormatInt(v, 10)) // violation: unsorted
+	}
+	return b.String()
+}
+
+// Clean is a correct implementation; nothing in it is flagged.
+type Clean struct {
+	m map[string]int64
+}
+
+// Apply mutates only the receiver.
+func (c *Clean) Apply(op seqspec.Op) int64 {
+	old := c.m[op.Kind]
+	c.m[op.Kind] = op.Arg(0)
+	return old
+}
+
+// Clone deep-copies.
+func (c *Clean) Clone() seqspec.State {
+	m := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		m[k] = v
+	}
+	return &Clean{m: m}
+}
+
+// Key collects, sorts, then encodes: the canonical pattern.
+func (c *Clean) Key() string {
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k) // fine: sorted below
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k + "=" + strconv.FormatInt(c.m[k], 10))
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+// Package wfcheck is a static analyzer for the repo's central claim: that
+// its protocols are wait-free. The paper's results are statements about
+// which primitives a construction touches — Theorem 6 turns "can A implement
+// B wait-free?" into a decidable, mechanical test — and wfcheck applies the
+// same discipline to the code itself: a function that claims wait-freedom
+// must not reach, through any call chain inside its package, a construct
+// that can stall on another process's progress.
+//
+// # Annotation convention
+//
+// Claims and opt-outs are `//wf:` directives in doc comments (no space after
+// `//`, like `//go:` directives):
+//
+//	//wf:waitfree
+//	    The function (or, on a package clause, every function in the
+//	    package) claims wait-freedom: it completes in a bounded number of
+//	    its own steps regardless of other processes' speeds or failures.
+//	//wf:blocking <reason>
+//	    The function intentionally blocks; the reason is mandatory. Used by
+//	    the lock-based baseline, the simulated message-passing substrate,
+//	    and operations the paper itself proves cannot be wait-free. Calling
+//	    a wf:blocking function from a wf:waitfree context is a violation.
+//	//wf:bounded <bound>
+//	    A manual boundedness argument. On a function: the body is trusted
+//	    (the repo's simulated hardware primitives — mutex gates whose
+//	    critical section is one constant-time step in the paper's cost
+//	    model — carry this form). On its own comment line directly above or
+//	    beside a `for` loop: that loop's iteration count is justified and
+//	    the loop-shape checks are suppressed.
+//
+// A declaration carrying both wf:waitfree and wf:blocking is an error.
+// Directives in _test.go files are ignored: test harnesses may block freely.
+//
+// # Analyzers
+//
+// blocking: builds a per-package call graph from the wf:waitfree entry
+// points and flags transitive reachability of sync.Mutex/RWMutex.Lock,
+// WaitGroup.Wait, Cond.Wait, time.Sleep, channel operations outside a
+// select with a default case, loops with no exit condition, spin loops that
+// yield via runtime.Gosched, and calls to wf:blocking functions. The call
+// graph is per-package by design: package boundaries are where the paper's
+// cost model draws the primitive-step line (see DESIGN.md's substitution
+// table) — a package exports operations advertised as single primitive
+// steps, and wait-freedom is audited against that advertisement.
+//
+// atomicmix: flags struct fields accessed both through sync/atomic
+// package-level functions and by plain read/write — a data race that the
+// race detector only finds on the schedules that happen to run.
+//
+// specpure: the universal construction replays seqspec transition functions
+// from a log, so Apply/Init/Clone/Key/ReadOnly must be deterministic. Flags
+// time and math/rand calls, goroutine launches, channel operations,
+// package-level state mutation, and map iteration that feeds output without
+// a subsequent sort.
+package wfcheck
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string // "annot", "blocking", "atomicmix" or "specpure"
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Config selects analysis modes.
+type Config struct {
+	// All treats every unannotated function as if it carried wf:waitfree:
+	// audit mode, measuring how far the tree is from a blanket wait-freedom
+	// claim. Functions annotated wf:blocking or wf:bounded keep their
+	// opt-outs.
+	All bool
+}
+
+// Run executes every analyzer on one loaded package and returns the sorted
+// findings (annotation errors included).
+func (c Config) Run(p *Package) []Diagnostic {
+	var ds []Diagnostic
+	ds = append(ds, p.Annots.Errors...)
+	ds = append(ds, analyzeBlocking(p, c.All)...)
+	ds = append(ds, analyzeAtomicMix(p)...)
+	ds = append(ds, analyzeSpecPurity(p)...)
+	SortDiagnostics(ds)
+	return ds
+}

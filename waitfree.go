@@ -17,6 +17,8 @@
 //
 // Everything underneath lives in internal/ packages; see DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-to-code map.
+//
+//wf:waitfree
 package waitfree
 
 import (
