@@ -30,6 +30,7 @@ import (
 	"waitfree/internal/seqspec"
 	"waitfree/internal/shard"
 	"waitfree/internal/synth"
+	"waitfree/internal/wfstats"
 )
 
 // --- E1: Figure 1-1 lower bounds (exhaustive model checking cost) ---
@@ -480,6 +481,77 @@ func BenchmarkShardScaling(b *testing.B) {
 				func(ops int) { runReadMix(n, ops, 95, keys, kv.Invoke) })
 			fastTotal += kv.FastReads()
 			b.ReportMetric(float64(fastTotal)/float64(b.N), "fast-reads/op")
+		})
+	}
+}
+
+// --- PR3 observability: wfstats record cost and end-to-end overhead ---
+
+// BenchmarkWfstatsRecord measures the raw record paths of the metrics layer:
+// one atomic add for a counter, a handful for a histogram, one predicated
+// load for the nil no-op mode. All must be allocation-free.
+func BenchmarkWfstatsRecord(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		c := wfstats.NewRegistry().Counter("c")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-parallel", func(b *testing.B) {
+		c := wfstats.NewRegistry().Counter("c")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram", func(b *testing.B) {
+		h := wfstats.NewRegistry().Histogram("h")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+	b.Run("nil-noop", func(b *testing.B) {
+		var r *wfstats.Registry
+		c := r.Counter("c")
+		h := r.Histogram("h")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(int64(i))
+		}
+	})
+}
+
+// BenchmarkWfstatsOverhead is the acceptance comparison for the PR 3
+// observability layer: the KV read fast path — the hottest path in the tree
+// — with the construction recording into a live registry (the default)
+// versus the WithMetrics(nil) no-op mode. The two ns/op must stay within
+// ~10% of each other.
+func BenchmarkWfstatsOverhead(b *testing.B) {
+	const n = 8
+	const keys = 64
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "instrumented"},
+		{name: "noop", opts: []core.Option{core.WithMetrics(nil)}},
+	}
+	for _, mode := range modes {
+		b.Run("kv/reads=100/"+mode.name, func(b *testing.B) {
+			var u *core.Universal
+			b.ReportAllocs()
+			benchChunks(b, 100_000,
+				func() {
+					u = core.NewUniversal(seqspec.KV{}, core.NewSwapFAC(), n, mode.opts...)
+					for k := int64(0); k < keys; k++ {
+						u.Invoke(0, seqspec.Op{Kind: "put", Args: []int64{k, k}})
+					}
+				},
+				func(ops int) { runReadMix(n, ops, 100, keys, u.Invoke) })
 		})
 	}
 }

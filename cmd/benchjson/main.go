@@ -49,7 +49,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	var (
-		bench     = flag.String("bench", "ReadMix|SnapshotInterval|ShardScaling|Universal/", "benchmark regexp to run")
+		bench     = flag.String("bench", "ReadMix|SnapshotInterval|ShardScaling|Universal/|Wfstats", "benchmark regexp to run")
 		benchtime = flag.String("benchtime", "300ms", "per-benchmark measurement time")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "BENCH_PR1.json", "output JSON path")

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"waitfree/internal/core"
 	"waitfree/internal/randcons"
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	e17Motivation(*n)
 	e19Combining(*n, *ops)
 	e20Randomized(*n)
+	e29Metrics(*n, *ops)
 }
 
 func runWorkers(n, per int, invoke func(pid int, op seqspec.Op) int64, op func(p, i int) seqspec.Op) time.Duration {
@@ -225,4 +228,26 @@ func e20Randomized(n int) {
 		trials, n, float64(total)/trials, worst)
 	fmt.Println("  agreement/validity deterministic, termination probabilistic: Theorem 2's")
 	fmt.Println("  impossibility is strictly about deterministic protocols.")
+	fmt.Println()
+}
+
+func e29Metrics(n, per int) {
+	fmt.Println("E29: wait-free observability (internal/wfstats)")
+	fmt.Println("  One registry instrumenting every layer of the Figure 4-5 stack; the")
+	fmt.Println("  record path is itself wait-free (atomics only, wfvet-verified).")
+	reg := wfstats.NewRegistry()
+	consensus.Instrument(reg)
+	fac := core.NewConsFAC(n, func() consensus.Object { return consensus.NewCAS(n) })
+	fac.Instrument(reg)
+	u := core.NewUniversal(seqspec.Counter{}, fac, n, core.WithMetrics(reg))
+	runWorkers(n, per, u.Invoke, inc)
+	consensus.Instrument(nil) // detach the package-level counters again
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		fmt.Println("  metrics export failed:", err)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
 }

@@ -38,8 +38,9 @@ func main() {
 	fmt.Printf("Workload: %d workers incrementing a shared counter for %v;\n", *workers, *duration)
 	fmt.Printf("process 0 stalls %v every %d operations, in the middle of an operation.\n\n", *stall, *every)
 
-	lockStats := runLocked(*workers, *duration, *stall, *every)
-	wfStats := runWaitFree(*workers, *duration, *stall, *every)
+	reg := waitfree.NewMetrics()
+	lockStats := runLocked(*workers, *duration, *stall, *every, reg)
+	wfStats := runWaitFree(*workers, *duration, *stall, *every, reg)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "WORKER\tLOCK ops\tLOCK max-latency\tWAIT-FREE ops\tWAIT-FREE max-latency")
@@ -68,6 +69,16 @@ func main() {
 		lockWorst, wfWorst)
 	fmt.Println("\nA lock-based healthy worker that requests the lock while P0 sleeps inside")
 	fmt.Println("the critical section waits out the entire stall; wait-free workers never do.")
+
+	fmt.Println("\nMetrics, side by side (one wfstats registry instrumenting both objects):")
+	fmt.Println("baseline.* is the lock — convoy is the queue each stall builds and hold_ns")
+	fmt.Println("absorbs the sleeps; universal.* is the wait-free object, whose replay_len")
+	fmt.Println("stays bounded by the worker count no matter how long P0 stalls.")
+	fmt.Println()
+	if err := reg.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	runSharded(*workers, *shards, *duration)
 }
@@ -119,8 +130,9 @@ type workerStats struct {
 	maxLatency time.Duration
 }
 
-func runLocked(workers int, duration, stall time.Duration, every int) []workerStats {
+func runLocked(workers int, duration, stall time.Duration, every int, reg *waitfree.Metrics) []workerStats {
 	obj := baseline.NewLocked(seqspec.Counter{})
+	obj.Instrument(reg)
 	var count0 int
 	obj.CriticalSection = func(pid int) {
 		if pid == 0 {
@@ -135,10 +147,10 @@ func runLocked(workers int, duration, stall time.Duration, every int) []workerSt
 	})
 }
 
-func runWaitFree(workers int, duration, stall time.Duration, every int) []workerStats {
+func runWaitFree(workers int, duration, stall time.Duration, every int, reg *waitfree.Metrics) []workerStats {
 	inner := waitfree.NewSwapFetchAndCons()
 	fac := &delayFAC{inner: inner, victim: 0, stall: stall, every: int64(every)}
-	u := waitfree.New(seqspec.Counter{}, fac, workers)
+	u := waitfree.New(seqspec.Counter{}, fac, workers, waitfree.WithMetrics(reg))
 	return drive(workers, duration, u.Invoke)
 }
 

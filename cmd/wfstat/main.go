@@ -1,0 +1,111 @@
+// Command wfstat is a one-shot metrics dump: it wires every instrumented
+// subsystem — the universal construction, the sharded KV front end, the
+// fetch-and-cons implementations, the consensus protocols and the lock-based
+// baseline — into a single wfstats registry, drives a short mixed workload,
+// and prints the registry as an aligned text table (or JSON with -json).
+//
+// It exists to show the observability layer end to end: which metrics each
+// layer exports, what a healthy run looks like, and that reading them costs
+// the workload nothing it can measure.
+//
+//wf:blocking driver: spawns worker goroutines and waits for them with sync.WaitGroup, which is the point of a demo harness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"waitfree/internal/baseline"
+	"waitfree/internal/consensus"
+	"waitfree/internal/core"
+	"waitfree/internal/seqspec"
+	"waitfree/internal/shard"
+	"waitfree/internal/wfstats"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 4, "worker processes")
+		ops     = flag.Int("ops", 5000, "operations per worker")
+		shards  = flag.Int("shards", 4, "shard count for the KV front end")
+		facKind = flag.String("fac", "swap", "fetch-and-cons: swap (Figs 4-3/4-4) or cons (Fig 4-5 over CAS consensus)")
+		keys    = flag.Int64("keys", 256, "key space for the KV workload")
+		readPct = flag.Uint64("readpct", 90, "percentage of gets in the KV mix")
+		asJSON  = flag.Bool("json", false, "dump the registry as JSON instead of a text table")
+	)
+	flag.Parse()
+
+	reg := wfstats.NewRegistry()
+	consensus.Instrument(reg)
+
+	mk := func() core.FetchAndCons {
+		switch *facKind {
+		case "swap":
+			f := core.NewSwapFAC()
+			f.Instrument(reg)
+			return f
+		case "cons":
+			f := core.NewConsFAC(*n, func() consensus.Object { return consensus.NewCAS(*n) })
+			f.Instrument(reg)
+			return f
+		}
+		fmt.Fprintf(os.Stderr, "wfstat: unknown -fac %q (want swap or cons)\n", *facKind)
+		os.Exit(2)
+		return nil
+	}
+
+	kv := shard.NewKV(*shards, *n, mk, core.WithMetrics(reg))
+	kv.Instrument(reg)
+	runWorkers(*n, *ops, func(pid, i int) {
+		key := mix(uint64(pid)<<32|uint64(i)) % uint64(*keys)
+		if mix(uint64(i))%100 < *readPct {
+			kv.Invoke(pid, seqspec.Op{Kind: "get", Args: []int64{int64(key)}})
+		} else {
+			kv.Invoke(pid, seqspec.Op{Kind: "put", Args: []int64{int64(key), int64(i)}})
+		}
+	})
+
+	lock := baseline.NewLocked(seqspec.Counter{})
+	lock.Instrument(reg)
+	runWorkers(*n, *ops, func(pid, i int) {
+		lock.Invoke(pid, seqspec.Op{Kind: "inc"})
+	})
+
+	var err error
+	if *asJSON {
+		err = reg.WriteJSON(os.Stdout)
+	} else {
+		err = reg.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func runWorkers(n, per int, body func(pid, i int)) {
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				body(p, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mix is the splitmix64 finalizer, the workload's cheap stateless generator.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

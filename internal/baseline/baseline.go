@@ -10,8 +10,11 @@ package baseline
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 // Locked wraps a sequential object in a mutex: the classical
@@ -24,6 +27,17 @@ type Locked struct {
 	// the calling pid — the fault-injection point that simulates a page
 	// fault or preemption inside the critical section.
 	CriticalSection func(pid int)
+
+	// waiters counts processes between their lock request and its grant; the
+	// value the winner reads after acquiring is the convoy it left behind.
+	waiters atomic.Int64
+
+	// Instrument metrics; nil (no-op) until Instrument is called. holdNS
+	// doubles as the "instrumented" flag so the uninstrumented path never
+	// touches the clock.
+	ops    *wfstats.Counter
+	holdNS *wfstats.Histogram
+	convoy *wfstats.Histogram
 }
 
 // NewLocked builds a lock-based concurrent version of seq.
@@ -31,10 +45,31 @@ func NewLocked(seq seqspec.Object) *Locked {
 	return &Locked{state: seq.Init()}
 }
 
+// Instrument records the critical-section metrics into reg: baseline.ops,
+// baseline.hold_ns (time the lock is held per operation — what a stall
+// inflates) and baseline.convoy (processes found still waiting at each lock
+// grant — the queue a slow holder builds, Section 1's failure mode made
+// measurable). Call before the object is used concurrently; nil reg leaves
+// the no-op mode in place, and the uninstrumented Invoke path never reads
+// the clock.
+func (l *Locked) Instrument(reg *wfstats.Registry) {
+	l.ops = reg.Counter("baseline.ops")
+	l.holdNS = reg.Histogram("baseline.hold_ns")
+	l.convoy = reg.Histogram("baseline.convoy")
+}
+
 // Invoke executes op under the lock.
 func (l *Locked) Invoke(pid int, op seqspec.Op) int64 {
+	l.ops.Inc()
+	l.waiters.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.convoy.Observe(l.waiters.Add(-1))
+	if l.holdNS != nil {
+		start := time.Now()
+		// Deferred before Unlock runs, so the sample covers the full hold.
+		defer func() { l.holdNS.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	if l.CriticalSection != nil {
 		l.CriticalSection(pid)
 	}

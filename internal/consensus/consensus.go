@@ -77,8 +77,10 @@ func (c *CAS) Decide(pid int, input int64) int64 {
 	c.ann.publish(pid, input)
 	old := c.r.CompareAndSwap(-1, int64(pid))
 	if old == -1 {
+		casStats.record(true)
 		return input // my id was installed: I win
 	}
+	casStats.record(false)
 	return c.ann.read(int(old))
 }
 
@@ -108,8 +110,10 @@ func (p *RMW2) Decide(pid int, input int64) int64 {
 	}
 	p.ann.publish(pid, input)
 	if p.r.Apply(p.f) == p.init {
+		rmw2Stats.record(true)
 		return input
 	}
+	rmw2Stats.record(false)
 	return p.ann.read(1 - pid)
 }
 
@@ -129,8 +133,10 @@ func (p *rmw2Direct) Decide(pid int, input int64) int64 {
 	}
 	p.ann.publish(pid, input)
 	if p.rmw() == p.init {
+		rmw2Stats.record(true)
 		return input
 	}
+	rmw2Stats.record(false)
 	return p.ann.read(1 - pid)
 }
 
@@ -173,8 +179,10 @@ func (p *Queue2) Decide(pid int, input int64) int64 {
 	}
 	p.ann.publish(pid, input)
 	if p.q.Deq() == 0 {
+		queueStats.record(true)
 		return input
 	}
+	queueStats.record(false)
 	return p.ann.read(1 - pid)
 }
 
@@ -195,5 +203,6 @@ func (p *AugQueue) Decide(pid int, input int64) int64 {
 	p.ann.publish(pid, input)
 	p.q.Enq(int64(pid))
 	winner := p.q.Peek()
+	augStats.record(int(winner) == pid)
 	return p.ann.read(int(winner))
 }

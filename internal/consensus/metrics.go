@@ -1,0 +1,46 @@
+package consensus
+
+import "waitfree/internal/wfstats"
+
+// protoStats holds one protocol family's decide counters. Nil fields are
+// the no-op mode, so the zero value records nothing.
+type protoStats struct {
+	decides *wfstats.Counter
+	lost    *wfstats.Counter
+}
+
+// record counts one Decide; a loss means the caller adopted another
+// process's input (the contended path of the protocol).
+func (s *protoStats) record(won bool) {
+	s.decides.Inc()
+	if !won {
+		s.lost.Inc()
+	}
+}
+
+// Per-protocol counters, package-level: every consensus object of a
+// protocol family records into the same pair, giving the process-wide
+// picture the Corollary 27 experiments want.
+var (
+	casStats   protoStats
+	rmw2Stats  protoStats
+	queueStats protoStats
+	augStats   protoStats
+)
+
+// Instrument records per-protocol decide counts (consensus.<proto>.decide)
+// and contended losses (consensus.<proto>.lost) into reg. The counters are
+// package-level and the assignment is not synchronized, so call Instrument
+// before any consensus object is used concurrently; a nil reg restores the
+// no-op mode. rmw2 covers the generic Theorem 4 protocol and its
+// test-and-set, swap and fetch-and-add instances alike.
+func Instrument(reg *wfstats.Registry) {
+	if reg == nil {
+		casStats, rmw2Stats, queueStats, augStats = protoStats{}, protoStats{}, protoStats{}, protoStats{}
+		return
+	}
+	casStats = protoStats{reg.Counter("consensus.cas.decide"), reg.Counter("consensus.cas.lost")}
+	rmw2Stats = protoStats{reg.Counter("consensus.rmw2.decide"), reg.Counter("consensus.rmw2.lost")}
+	queueStats = protoStats{reg.Counter("consensus.queue2.decide"), reg.Counter("consensus.queue2.lost")}
+	augStats = protoStats{reg.Counter("consensus.augqueue.decide"), reg.Counter("consensus.augqueue.lost")}
+}

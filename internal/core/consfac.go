@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"waitfree/internal/consensus"
+	"waitfree/internal/wfstats"
 )
 
 // ConsFAC is the Figure 4-5 fetch-and-cons: a wait-free implementation from
@@ -46,6 +47,11 @@ type ConsFAC struct {
 	// experiments (at most n+1 per operation).
 	decisions atomic.Int64
 	ops       atomic.Int64
+
+	// Instrument metrics; nil (no-op) until Instrument is called.
+	opsCount   *wfstats.Counter
+	roundsHist *wfstats.Histogram
+	wins       *wfstats.Counter
 }
 
 // NewConsFAC builds a fetch-and-cons for n processes from a factory of
@@ -68,9 +74,26 @@ func NewConsFAC(n int, factory consensus.Factory) *ConsFAC {
 
 var _ FetchAndCons = (*ConsFAC)(nil)
 
+// Instrument records the Figure 4-5 metrics into reg: consfac.ops,
+// consfac.rounds (consensus rounds joined per FetchAndCons — the Corollary
+// 27 quantity, bounded by n+1), consfac.round_wins (rounds the caller won,
+// fixing its entry), and consfac.install_races (lost CAS attempts lazily
+// installing consensus rounds — each loss means another process installed
+// the round, so retries are bounded). Call before the object is used
+// concurrently; nil reg leaves the no-op mode in place.
+func (f *ConsFAC) Instrument(reg *wfstats.Registry) {
+	f.opsCount = reg.Counter("consfac.ops")
+	f.roundsHist = reg.Histogram("consfac.rounds")
+	f.wins = reg.Counter("consfac.round_wins")
+	f.rounds.races = reg.Counter("consfac.install_races")
+}
+
 // FetchAndCons implements FetchAndCons (Figure 4-5).
 func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	f.ops.Add(1)
+	f.opsCount.Inc()
+	joined := int64(0) // rounds this call joins, for the consfac.rounds histogram
+	defer func() { f.roundsHist.Observe(joined) }()
 	f.announce[pid].Store(e)
 
 	// Build the goal: everyone's latest announced entry (at most one per
@@ -92,6 +115,7 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	// preference always extends the last decided list this process saw.
 	winner := f.lastWinner[pid]
 	if lastRound > f.round[pid].Load() {
+		joined++
 		winner = f.decide(lastRound, pid)
 	}
 
@@ -99,12 +123,14 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	for r := lastRound + 1; r <= lastRound+int64(f.n); r++ {
 		base := f.preferOf(winner)
 		f.prefer[pid].Store(merge(goal, base))
+		joined++
 		w := f.decide(r, pid)
 		winner = w
 		dec := f.preferOf(w)
 		f.prefer[pid].Store(dec)
 		f.round[pid].Store(r)
 		if w == pid {
+			f.wins.Inc()
 			return f.publish(pid, trim(dec, e))
 		}
 	}
@@ -224,6 +250,10 @@ func trim(l *Node, e *Entry) *Node {
 type roundArray struct {
 	factory consensus.Factory
 	dir     [dirSize]atomic.Pointer[roundChunk]
+
+	// races counts lost installation CASes (another process published the
+	// chunk or round first); nil (no-op) unless instrumented.
+	races *wfstats.Counter
 }
 
 const (
@@ -253,6 +283,7 @@ func (a *roundArray) get(r int64) consensus.Object {
 		if a.dir[ci].CompareAndSwap(nil, fresh) {
 			chunk = fresh
 		} else {
+			a.races.Inc()
 			chunk = a.dir[ci].Load()
 		}
 	}
@@ -263,6 +294,7 @@ func (a *roundArray) get(r int64) consensus.Object {
 		if chunk.slots[si].CompareAndSwap(nil, fresh) {
 			box = fresh
 		} else {
+			a.races.Inc()
 			box = chunk.slots[si].Load()
 		}
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"waitfree/internal/seqspec"
+)
+
+// TestReadFastSharedCacheHammer hammers the read fast path on one shared
+// Universal from many reader goroutines while writers keep advancing the
+// list head. Readers that observe the same head share the frozen cached
+// state, so under -race this test is the direct audit of the ReadOnly
+// contract the cache depends on: a reader applying a mutating op to the
+// shared state would be flagged as a data race. The value checks below are
+// secondary; the detector is the point.
+func TestReadFastSharedCacheHammer(t *testing.T) {
+	const (
+		readers = 6
+		writers = 2
+		puts    = 3000
+		keys    = 32
+	)
+	u := NewUniversal(seqspec.KV{}, NewSwapFAC(), readers+writers)
+	var done atomic.Bool
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 1; i <= puts; i++ {
+				k := int64((w*puts + i) % keys)
+				u.Invoke(w, seqspec.Op{Kind: "put", Args: []int64{k, int64(i)}})
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		pid := writers + r
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; !done.Load(); i++ {
+				k := int64(i % keys)
+				v := u.Invoke(pid, seqspec.Op{Kind: "get", Args: []int64{k}})
+				if v != seqspec.Empty && (v < 1 || v > puts) {
+					t.Errorf("get(%d) = %d: not Empty and never put", k, v)
+					return
+				}
+				if n := u.Invoke(pid, seqspec.Op{Kind: "len"}); n < 0 || n > keys {
+					t.Errorf("len = %d, want 0..%d", n, keys)
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	done.Store(true)
+	readerWG.Wait()
+
+	if got := u.FastReads(); got == 0 {
+		t.Error("no reads took the fast path; the hammer missed its target")
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"waitfree/internal/wfstats"
 )
 
 // SwapFAC is the constant-time fetch-and-cons of Figures 4-3/4-4: a single
@@ -23,10 +25,22 @@ import (
 type SwapFAC struct {
 	mu   sync.Mutex
 	head atomic.Pointer[Node]
+
+	// conses and observes are nil (no-op) until Instrument.
+	conses   *wfstats.Counter
+	observes *wfstats.Counter
 }
 
 // NewSwapFAC builds an empty list.
 func NewSwapFAC() *SwapFAC { return &SwapFAC{} }
+
+// Instrument records the fetch-and-cons's metrics (swapfac.cons — one
+// simulated swap each — and swapfac.observe) into reg. Call before the
+// object is used concurrently; nil reg leaves the no-op mode in place.
+func (f *SwapFAC) Instrument(reg *wfstats.Registry) {
+	f.conses = reg.Counter("swapfac.cons")
+	f.observes = reg.Counter("swapfac.observe")
+}
 
 var _ FetchAndCons = (*SwapFAC)(nil)
 
@@ -35,6 +49,7 @@ var _ FetchAndCons = (*SwapFAC)(nil)
 //
 //wf:bounded one simulated primitive step: the gate encloses exactly the constant-time anchor/cdr exchange (Theorem 16 substitution, see the type doc)
 func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
+	f.conses.Inc()
 	cell := &Node{Entry: e}
 
 	f.mu.Lock() // begin simulated atomic swap(anchor, cell.cdr)
@@ -53,7 +68,10 @@ func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
 // Observe implements FetchAndCons: one atomic load of the anchor. Any entry
 // whose swap preceded the load is in the returned list, and every entry in
 // it was positioned by its swap, so the list is a decided prefix.
-func (f *SwapFAC) Observe() *Node { return f.head.Load() }
+func (f *SwapFAC) Observe() *Node {
+	f.observes.Inc()
+	return f.head.Load()
+}
 
 // Head returns the current list head (for tests and inspection).
 func (f *SwapFAC) Head() *Node { return f.head.Load() }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 // Universal is the paper's universal object (Figures 4-1/4-2): a wait-free
@@ -36,17 +37,39 @@ type Universal struct {
 	// keyed by the observed list head. Consecutive reads with no intervening
 	// write hit the cache and touch no shared mutable memory at all: the
 	// cached state is frozen (only ReadOnly ops are ever applied to it), so
-	// serving from it is a load plus a pure Apply.
+	// serving from it is a load plus a pure Apply. The ReadOnly contract
+	// this depends on is enforced by the cross-spec contract tests in
+	// internal/seqspec and the shared-cache race hammer in this package.
 	lastRead atomic.Pointer[readSnap]
 
-	// replay statistics for the Section 4.1 experiments.
-	replayOps   atomic.Int64
-	replayCells atomic.Int64
-	replayMax   atomic.Int64
+	// metrics is the registry the construction records into: a private one
+	// by default (so ReplayStats and FastReads always work), the caller's
+	// via WithMetrics, or nil for the no-op mode (metricsSet distinguishes
+	// an explicit nil from "not configured").
+	metrics    *wfstats.Registry
+	metricsSet bool
+	stats      universalStats
+}
 
-	// fastReads counts operations served by the read fast path (no cons, no
-	// snapshot, no consensus round).
-	fastReads atomic.Int64
+// universalStats is the construction's metric set. Every field is nil-safe,
+// so the no-op mode (WithMetrics(nil)) costs one predicated load per record.
+type universalStats struct {
+	// consOps counts write-path operations: each consumes exactly one
+	// fetch-and-cons (the operation's linearization step).
+	consOps *wfstats.Counter
+	// snapStores counts Section 4.1 snapshot stores (Clone + publish).
+	snapStores *wfstats.Counter
+	// fastHits and fastMisses split the read fast path by whether the
+	// frozen-state cache served the read (hit: no replay at all). The fast
+	// path is the hottest in the tree and is shared by every reader, so
+	// these are striped by pid: one single-writer cache line each, no
+	// bouncing (see wfstats.StripedCounter).
+	fastHits   *wfstats.StripedCounter
+	fastMisses *wfstats.StripedCounter
+	// replayLen is the replay-length histogram: entries traversed per
+	// replay, the Section 4.1 strong-wait-freedom quantity (bounded by n
+	// with snapshots, by the object's age without).
+	replayLen *wfstats.Histogram
 }
 
 // readSnap pairs an observed decided list with the state it replays to.
@@ -85,6 +108,17 @@ func WithoutFastReads() Option {
 	return func(u *Universal) { u.fastRead = false }
 }
 
+// WithMetrics records the construction's metrics (universal.* — cons ops,
+// snapshot stores, fast-read hits/misses, the replay-length histogram) into
+// reg instead of a private registry. Several instances sharing one registry
+// share the metrics and report their aggregate — this is how a sharded
+// front end sums its shards. Passing nil selects the no-op mode: recording
+// costs one predicated load per metric and ReplayStats/FastReads read as
+// zero.
+func WithMetrics(reg *wfstats.Registry) Option {
+	return func(u *Universal) { u.metrics, u.metricsSet = reg, true }
+}
+
 // NewUniversal builds a wait-free version of seq for n processes over fac.
 // Truncation is enabled by default.
 func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *Universal {
@@ -93,8 +127,22 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 	for _, o := range opts {
 		o(u)
 	}
+	if !u.metricsSet {
+		u.metrics = wfstats.NewRegistry()
+	}
+	u.stats = universalStats{
+		consOps:    u.metrics.Counter("universal.cons_ops"),
+		snapStores: u.metrics.Counter("universal.snapshot_stores"),
+		fastHits:   u.metrics.StripedCounter("universal.fast_read_hit", n),
+		fastMisses: u.metrics.StripedCounter("universal.fast_read_miss", n),
+		replayLen:  u.metrics.Histogram("universal.replay_len"),
+	}
 	return u
 }
+
+// Metrics returns the registry the construction records into: the private
+// default, or whatever WithMetrics supplied (possibly nil).
+func (u *Universal) Metrics() *wfstats.Registry { return u.metrics }
 
 // Invoke executes op on behalf of process pid and returns its response.
 // Each pid must invoke sequentially (a front end is a single thread of
@@ -108,24 +156,27 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 // is decided, so the read takes effect atomically at the load.
 func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
 	if u.fastRead && u.seq.ReadOnly(op) {
-		return u.readFast(op)
+		return u.readFast(pid, op)
 	}
 	e := &Entry{Pid: pid, Seq: u.seqs[pid].Add(1), Op: op}
+	u.stats.consOps.Inc()
 	prior := u.fac.FetchAndCons(pid, e)
 	pre := u.replay(prior)
 	if u.truncate && e.Seq%u.snapEvery == 0 {
+		u.stats.snapStores.Inc()
 		e.snapshot.Store(&snapBox{state: pre.Clone()})
 	}
 	return pre.Apply(op)
 }
 
 // readFast serves a read-only operation from a decided list.
-func (u *Universal) readFast(op seqspec.Op) int64 {
-	u.fastReads.Add(1)
+func (u *Universal) readFast(pid int, op seqspec.Op) int64 {
 	head := u.fac.Observe()
 	if c := u.lastRead.Load(); c != nil && c.head == head {
-		return c.state.Apply(op) // frozen state; ReadOnly Apply never mutates
+		u.stats.fastHits.Inc(pid)
+		return c.state.Apply(op) // frozen state; ReadOnly Apply never mutates (contract-tested in seqspec)
 	}
+	u.stats.fastMisses.Inc(pid)
 	state := u.replay(head)
 	u.lastRead.Store(&readSnap{head: head, state: state})
 	return state.Apply(op)
@@ -154,15 +205,7 @@ func (u *Universal) replay(list *Node) seqspec.State {
 		state.Apply(pending[i].Op)
 	}
 
-	u.replayOps.Add(1)
-	u.replayCells.Add(int64(len(pending)))
-	//wf:bounded monotone-max CAS: a retry means another process raised the max, which happens at most once per distinct replay length
-	for {
-		max := u.replayMax.Load()
-		if int64(len(pending)) <= max || u.replayMax.CompareAndSwap(max, int64(len(pending))) {
-			break
-		}
-	}
+	u.stats.replayLen.Observe(int64(len(pending)))
 	return state
 }
 
@@ -190,15 +233,16 @@ func (h *Handle) Pid() int { return h.pid }
 
 // ReplayStats reports (operations, mean replay length, max replay length):
 // the Section 4.1 experiment comparing wait-free with strongly wait-free.
+// The numbers are read from the universal.replay_len histogram; in the
+// WithMetrics(nil) no-op mode they are zero.
 func (u *Universal) ReplayStats() (ops int64, mean float64, max int64) {
-	ops = u.replayOps.Load()
-	if ops > 0 {
-		mean = float64(u.replayCells.Load()) / float64(ops)
-	}
-	return ops, mean, u.replayMax.Load()
+	h := u.stats.replayLen
+	return h.Count(), h.Mean(), h.Max()
 }
 
 // FastReads reports how many operations were served by the read-only fast
-// path. Cache-hitting reads count here but not in ReplayStats (they replay
-// nothing).
-func (u *Universal) FastReads() int64 { return u.fastReads.Load() }
+// path (universal.fast_read_hit + universal.fast_read_miss). Cache-hitting
+// reads count here but not in ReplayStats (they replay nothing).
+func (u *Universal) FastReads() int64 {
+	return u.stats.fastHits.Load() + u.stats.fastMisses.Load()
+}

@@ -214,7 +214,6 @@ func (s *stackState) Apply(op Op) int64 {
 			return Empty
 		}
 		v := s.items[len(s.items)-1]
-		s.items = s.items[:len(s.items):len(s.items)]
 		s.items = s.items[:len(s.items)-1]
 		return v
 	case "len":

@@ -21,14 +21,23 @@
 package shard
 
 import (
+	"fmt"
+
 	"waitfree/internal/core"
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 // Router classifies an operation for routing: keyed operations return their
 // partition key (the router hashes it to a shard), cross-shard operations
 // return keyed=false (the operation runs on every shard and the responses
 // are summed).
+//
+// Panic contract: a router must panic on an operation kind it does not
+// recognize rather than guess a route. Routing an unknown op to one shard
+// silently partitions state that the spec may treat as global; failing loudly
+// at the front door is the only safe default. KVRouter follows this contract
+// with the message "shard: kv: unknown op <kind>".
 type Router func(op seqspec.Op) (key int64, keyed bool)
 
 // KVRouter routes the seqspec.KV operation set: put/get/del by their key
@@ -47,6 +56,11 @@ func KVRouter(op seqspec.Op) (int64, bool) {
 type Sharded struct {
 	shards []*core.Universal
 	route  Router
+
+	// shardOps[i] counts operations routed to shard i; crossOps counts
+	// cross-shard fan-outs. Nil entries (the default) are the no-op mode.
+	shardOps []*wfstats.Counter
+	crossOps *wfstats.Counter
 }
 
 // New builds a sharded front end: shards independent Universal instances
@@ -56,11 +70,45 @@ func New(seq seqspec.Object, route Router, shards, procs int, mk func() core.Fet
 	if shards < 1 {
 		panic("shard: need at least one shard")
 	}
-	s := &Sharded{shards: make([]*core.Universal, shards), route: route}
+	s := &Sharded{shards: make([]*core.Universal, shards), route: route,
+		shardOps: make([]*wfstats.Counter, shards)}
 	for i := range s.shards {
 		s.shards[i] = core.NewUniversal(seq, mk(), procs, opts...)
 	}
 	return s
+}
+
+// Instrument records the front end's routing metrics into reg: shard.ops.<i>
+// (operations routed to shard i), shard.cross_ops (cross-shard fan-outs) and
+// shard.imbalance_pct, a derived gauge computed at snapshot time as the most
+// loaded shard's share of the mean, in percent (100 = perfectly balanced).
+// Call before the front end is used concurrently; nil reg leaves the no-op
+// mode in place. The shards' own universal.* metrics stay in their private
+// registries — pass core.WithMetrics(reg) among New's options to aggregate
+// those into reg as well.
+func (s *Sharded) Instrument(reg *wfstats.Registry) {
+	if reg == nil {
+		return
+	}
+	for i := range s.shardOps {
+		s.shardOps[i] = reg.Counter(fmt.Sprintf("shard.ops.%d", i))
+	}
+	s.crossOps = reg.Counter("shard.cross_ops")
+	ops := append([]*wfstats.Counter(nil), s.shardOps...)
+	reg.GaugeFunc("shard.imbalance_pct", func() int64 {
+		var max, total int64
+		for _, c := range ops {
+			v := c.Load()
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return max * 100 * int64(len(ops)) / total
+	})
 }
 
 // NewKV builds a sharded key-value map (seqspec.KV semantics per key).
@@ -73,8 +121,11 @@ func NewKV(shards, procs int, mk func() core.FetchAndCons, opts ...core.Option) 
 // contract of Universal.Invoke applies across the whole front end.
 func (s *Sharded) Invoke(pid int, op seqspec.Op) int64 {
 	if key, keyed := s.route(op); keyed {
-		return s.shards[s.shardOf(key)].Invoke(pid, op)
+		i := s.shardOf(key)
+		s.shardOps[i].Inc()
+		return s.shards[i].Invoke(pid, op)
 	}
+	s.crossOps.Inc()
 	var total int64
 	for _, u := range s.shards {
 		total += u.Invoke(pid, op)

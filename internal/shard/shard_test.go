@@ -161,3 +161,20 @@ func TestShardedFastReads(t *testing.T) {
 		t.Errorf("FastReads = %d, want 8", got)
 	}
 }
+
+// TestKVRouterUnknownOpPanics pins the Router panic contract: an op kind
+// the router does not recognize must fail loudly at the front door, with
+// this exact message, rather than be guessed onto some shard.
+func TestKVRouterUnknownOpPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("KVRouter accepted an unknown op kind")
+		}
+		const want = "shard: kv: unknown op frobnicate"
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	KVRouter(seqspec.Op{Kind: "frobnicate"})
+}

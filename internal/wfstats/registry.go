@@ -1,0 +1,274 @@
+package wfstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types a registry can hold.
+type Kind string
+
+// The metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindStriped   Kind = "striped-counter"
+	KindGauge     Kind = "gauge"
+	KindGaugeFunc Kind = "gaugefunc"
+	KindHistogram Kind = "histogram"
+)
+
+// metric is one registered metric; exactly one of the value fields is set,
+// per Kind.
+type metric struct {
+	name    string
+	kind    Kind
+	counter *Counter
+	striped *StripedCounter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// Registry names and exports a set of metrics. Registration is idempotent
+// by name — asking twice for the same counter returns the same counter, so
+// several instances (e.g. the shards of a sharded front end) registering
+// under one name share it and the registry reports their aggregate.
+//
+// Registration uses a copy-on-write list published by compare-and-swap, so
+// it is safe from any goroutine and never blocks a concurrent recorder or
+// snapshot. A nil *Registry is the no-op mode: it hands out nil metrics
+// whose record methods return after one predicated load.
+type Registry struct {
+	prefix string
+	state  *registryState
+}
+
+// registryState is shared between a registry and its Scoped views.
+type registryState struct {
+	metrics atomic.Pointer[[]*metric] // sorted by name, immutable
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{state: &registryState{}}
+}
+
+// Scoped returns a view of the registry that prefixes every metric name
+// with prefix + "." — one registry can hold several subsystems' metrics
+// without name collisions. Nil-safe: a nil registry scopes to nil.
+func (r *Registry) Scoped(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{prefix: r.prefix + prefix + ".", state: r.state}
+}
+
+// Counter returns the counter named name, registering it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.install(&metric{name: r.prefix + name, kind: KindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// StripedCounter returns the striped counter named name with width slots,
+// registering it on first use; the first registration's width wins. Use it
+// for counters on paths hot enough that a shared cache line would show up
+// in the measurement, when the caller has a natural slot index (a pid).
+// Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) StripedCounter(name string, width int) *StripedCounter {
+	if r == nil {
+		return nil
+	}
+	m := r.install(&metric{name: r.prefix + name, kind: KindStriped,
+		striped: &StripedCounter{slots: make([]paddedInt64, width)}})
+	return m.striped
+}
+
+// Gauge returns the gauge named name, registering it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.install(&metric{name: r.prefix + name, kind: KindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time — for derived quantities (imbalance ratios, set sizes) that would
+// cost too much to maintain on the record path. fn must be safe to call
+// from any goroutine and should be bounded. Nil-safe no-op on a nil
+// registry; re-registering a name keeps the first fn.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.install(&metric{name: r.prefix + name, kind: KindGaugeFunc, fn: fn})
+}
+
+// Histogram returns the histogram named name, registering it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.install(&metric{name: r.prefix + name, kind: KindHistogram, hist: &Histogram{}})
+	return m.hist
+}
+
+// install publishes m unless a metric of its name exists, and returns the
+// registered metric. A kind mismatch on an existing name panics: it is a
+// programming error on the level of a duplicate type declaration.
+func (r *Registry) install(m *metric) *metric {
+	//wf:bounded copy-on-write CAS: a retry means another process published a registration; registrations are finitely many (one per metric name) and each retry re-resolves against the newer list
+	for {
+		old := r.state.metrics.Load()
+		if old != nil {
+			if existing := findMetric(*old, m.name); existing != nil {
+				if existing.kind != m.kind {
+					panic(fmt.Sprintf("wfstats: metric %q registered as %s and %s", m.name, existing.kind, m.kind))
+				}
+				return existing
+			}
+		}
+		var next []*metric
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, m)
+		sort.Slice(next, func(i, j int) bool { return next[i].name < next[j].name })
+		if r.state.metrics.CompareAndSwap(old, &next) {
+			return m
+		}
+	}
+}
+
+// findMetric resolves name in a sorted metric list.
+func findMetric(list []*metric, name string) *metric {
+	i := sort.Search(len(list), func(i int) bool { return list[i].name >= name })
+	if i < len(list) && list[i].name == name {
+		return list[i]
+	}
+	return nil
+}
+
+// Sample is one metric's value at snapshot time.
+type Sample struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Value is the counter count or gauge value (counters and gauges only).
+	Value int64 `json:"value"`
+	// Count, Sum, Max and Buckets describe histograms.
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Mean    float64  `json:"mean,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot reads every metric once and returns the samples sorted by name.
+// Each value is one atomic load (bounded loads for histograms); the
+// snapshot is not an atomic cut across metrics, which is the standard — and
+// here explicitly accepted — monitoring trade-off. Nil-safe: nil registry
+// snapshots to nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	list := r.state.metrics.Load()
+	if list == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(*list))
+	for _, m := range *list {
+		s := Sample{Name: m.name, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			s.Value = m.counter.Load()
+		case KindStriped:
+			s.Value = m.striped.Load()
+		case KindGauge:
+			s.Value = m.gauge.Load()
+		case KindGaugeFunc:
+			s.Value = m.fn()
+		case KindHistogram:
+			s.Count = m.hist.Count()
+			s.Sum = m.hist.Sum()
+			s.Max = m.hist.Max()
+			s.Mean = m.hist.Mean()
+			s.Buckets = m.hist.Buckets()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteText renders the snapshot as an aligned text table, histograms with
+// count/mean/max and a compact bucket line.
+func (r *Registry) WriteText(w io.Writer) error {
+	samples := r.Snapshot()
+	width, kindWidth := len("METRIC"), len("KIND")
+	for _, s := range samples {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+		if len(s.Kind) > kindWidth {
+			kindWidth = len(s.Kind)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", width, "METRIC", kindWidth, "KIND", "VALUE"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		val := fmt.Sprintf("%d", s.Value)
+		if s.Kind == KindHistogram {
+			val = fmt.Sprintf("count=%d mean=%.2f max=%d %s", s.Count, s.Mean, s.Max, bucketString(s.Buckets))
+		}
+		kind := s.Kind
+		if kind == KindGaugeFunc {
+			kind = KindGauge // a derived gauge reads as a gauge
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", width, s.Name, kindWidth, kind, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketString renders non-empty buckets as "[lo,hi]:count ...".
+func bucketString(bs []Bucket) string {
+	var b strings.Builder
+	for i, bk := range bs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if bk.Low == bk.High {
+			fmt.Fprintf(&b, "[%d]:%d", bk.Low, bk.Count)
+		} else {
+			fmt.Fprintf(&b, "[%d,%d]:%d", bk.Low, bk.High, bk.Count)
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON renders the snapshot as one indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Snapshot()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	buf, err := json.MarshalIndent(samples, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,252 @@
+// Package wfstats is a wait-free observability layer for the wait-free
+// constructions: counters, gauges and fixed-bucket histograms whose record
+// path is itself wait-free — a bounded number of sync/atomic steps, no
+// locks, no allocation — so instrumenting the universal construction cannot
+// reintroduce the blocking the construction exists to avoid, and cannot
+// perturb the step-complexity quantities it measures.
+//
+// Everything is nil-safe: a nil *Registry hands out nil metrics, and every
+// record method on a nil metric is a single predicated load (the nil
+// receiver check). Un-instrumented callers therefore share one code path
+// with instrumented ones and pay essentially nothing.
+//
+// The recorded quantities are the ones the paper's results are stated in —
+// operation counts and per-operation step counts (consensus rounds, replay
+// lengths, retries). A registry snapshot is how the repo reports wait-free
+// vs lock-based comparisons and checks bounds like Corollary 27's n+1
+// rounds per fetch-and-cons.
+//
+//wf:waitfree
+package wfstats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Load returns the current count; 0 on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// StripedCounter is a counter split into per-process single-writer slots,
+// each on its own cache line. It is the package's answer to instrumenting a
+// path hot enough that even one shared atomic add would show up in the
+// measurement: each slot is written by exactly one process (the paper's
+// single-writer-register discipline, as in announce and prefer), so a
+// recording is an atomic load and store of a private cache line — no
+// LOCK-prefixed read-modify-write, no bouncing — and Load sums the slots.
+// The trade is memory (64 bytes per slot) and the REQUIREMENT that slot i
+// has a single writer; two writers on one slot lose increments.
+type StripedCounter struct{ slots []paddedInt64 }
+
+// paddedInt64 is an atomic counter padded out to a 64-byte cache line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Inc adds 1 to slot i. No-op on a nil counter.
+func (c *StripedCounter) Inc(i int) { c.Add(i, 1) }
+
+// Add adds d to slot i, which must be in [0, width). The update is a plain
+// atomic load + store — correct only under the type's single-writer-per-slot
+// contract, and cheaper than a read-modify-write by design. No-op on a nil
+// counter.
+func (c *StripedCounter) Add(i int, d int64) {
+	if c == nil {
+		return
+	}
+	s := &c.slots[i].v
+	s.Store(s.Load() + d)
+}
+
+// Load sums the slots: one atomic load per slot. Concurrent Incs may
+// straddle the scan (monotone-counter snapshot semantics). 0 on a nil
+// counter.
+func (c *StripedCounter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.slots {
+		total += c.slots[i].v.Load()
+	}
+	return total
+}
+
+// Width returns the slot count; 0 on a nil counter.
+func (c *StripedCounter) Width() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.slots)
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d. No-op on a nil gauge.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Max raises the gauge to v if v exceeds it.  No-op on a nil gauge.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	maxAtomic(&g.v, v)
+}
+
+// Load returns the current value; 0 on a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// maxAtomic raises *a to v monotonically.
+func maxAtomic(a *atomic.Int64, v int64) {
+	//wf:bounded monotone-max CAS: a retry means another process raised the value, which happens at most once per distinct observed maximum
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// NumBuckets is the number of histogram buckets: one per power of two of
+// int64's non-negative range, plus bucket 0 for the value 0.
+const NumBuckets = 64
+
+// Histogram is a fixed-bucket power-of-two histogram of non-negative
+// values: bucket 0 counts the value 0, bucket i (i ≥ 1) counts values in
+// [2^(i-1), 2^i). The record path is three atomic adds, one atomic max,
+// and no allocation; negative values clamp to 0.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	maxAtomic(&h.max, v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps a non-negative value to its bucket index: the bit length of
+// v, i.e. 0→0, 1→1, 2..3→2, 4..7→3, ...
+func bucketOf(v int64) int { return bits.Len64(uint64(v)) }
+
+// BucketLow returns the smallest value bucket i counts.
+func BucketLow(i int) int64 {
+	if i <= 1 {
+		return int64(i)
+	}
+	return 1 << (i - 1)
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values; 0 on a nil histogram.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed value; 0 on a nil histogram.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the mean observed value; 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count values in
+// [Low, High] (High is inclusive; for bucket 0, Low = High = 0).
+type Bucket struct {
+	Low   int64 `json:"low"`
+	High  int64 `json:"high"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets, lowest first. Each bucket is read
+// with one atomic load; concurrent Observes may straddle the scan, so the
+// bucket sum can trail Count by in-flight recordings — the standard
+// monotone-counter snapshot semantics.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		high := int64(0)
+		if i >= 1 {
+			high = 2*BucketLow(i) - 1
+		}
+		out = append(out, Bucket{Low: BucketLow(i), High: high, Count: n})
+	}
+	return out
+}

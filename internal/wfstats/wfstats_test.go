@@ -1,0 +1,312 @@
+package wfstats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	if again := r.Counter("ops"); again != c {
+		t.Error("re-registering a name must return the same counter")
+	}
+}
+
+// TestStripedCounter: per-slot single-writer recording sums correctly under
+// concurrency (one goroutine per slot, per the type's contract), and the
+// registry treats the name idempotently with the first width winning.
+func TestStripedCounter(t *testing.T) {
+	r := NewRegistry()
+	const width = 4
+	const per = 5000
+	c := r.StripedCounter("fast", width)
+	if c.Width() != width {
+		t.Fatalf("Width = %d, want %d", c.Width(), width)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != width*per {
+		t.Errorf("Load = %d, want %d", got, width*per)
+	}
+	if again := r.StripedCounter("fast", 99); again != c || again.Width() != width {
+		t.Error("re-registration must return the first counter, first width wins")
+	}
+	samples := r.Snapshot()
+	if len(samples) != 1 || samples[0].Kind != KindStriped || samples[0].Value != width*per {
+		t.Errorf("snapshot = %+v", samples)
+	}
+}
+
+func TestStripedCounterNilNoOp(t *testing.T) {
+	var r *Registry
+	c := r.StripedCounter("x", 8)
+	c.Inc(3)
+	c.Add(7, 5)
+	if c.Load() != 0 || c.Width() != 0 {
+		t.Error("nil striped counter must read as zero")
+	}
+}
+
+func TestStripedCounterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a striped counter must panic")
+		}
+	}()
+	r.StripedCounter("x", 2)
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Set(7)
+	g.Add(3)
+	if got := g.Load(); got != 10 {
+		t.Errorf("Load = %d, want 10", got)
+	}
+	g.Max(4)
+	if got := g.Load(); got != 10 {
+		t.Errorf("Max(4) lowered the gauge to %d", got)
+	}
+	g.Max(25)
+	if got := g.Load(); got != 25 {
+		t.Errorf("Max(25) = %d, want 25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	// Bucket boundaries: 0; 1; 2-3; 4-7; 8-15; ...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 25 { // negative clamps to 0
+		t.Errorf("Sum = %d, want 25", got)
+	}
+	if got := h.Max(); got != 8 {
+		t.Errorf("Max = %d, want 8", got)
+	}
+	want := []Bucket{
+		{Low: 0, High: 0, Count: 2}, // 0 and the clamped -5
+		{Low: 1, High: 1, Count: 1},
+		{Low: 2, High: 3, Count: 2},
+		{Low: 4, High: 7, Count: 2},
+		{Low: 8, High: 15, Count: 1},
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("Buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewRegistry().Histogram("x")
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean must be 0")
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Mean(); got != 15 {
+		t.Errorf("Mean = %v, want 15", got)
+	}
+}
+
+// TestNilNoOp: the advertised no-op mode — a nil registry hands out nil
+// metrics and every operation on them is safe and free of effects.
+func TestNilNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	r.GaugeFunc("f", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(5)
+	g.Add(1)
+	g.Max(9)
+	h.Observe(3)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if h.Buckets() != nil {
+		t.Error("nil histogram must have nil buckets")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry must snapshot to nil")
+	}
+	if r.Scoped("sub") != nil {
+		t.Error("nil registry must scope to nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoped(t *testing.T) {
+	r := NewRegistry()
+	r.Scoped("a").Scoped("b").Counter("ops").Add(3)
+	r.Counter("ops").Inc()
+	samples := r.Snapshot()
+	names := make([]string, len(samples))
+	for i, s := range samples {
+		names[i] = s.Name
+	}
+	want := []string{"a.b.ops", "ops"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("names = %v, want %v", names, want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Gauge("a").Set(2)
+	r.Histogram("m").Observe(3)
+	r.GaugeFunc("d", func() int64 { return 4 })
+	samples := r.Snapshot()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	if !sort.SliceIsSorted(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name }) {
+		t.Error("snapshot must be sorted by name")
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if byName["z"].Value != 1 || byName["a"].Value != 2 || byName["d"].Value != 4 {
+		t.Errorf("sample values wrong: %+v", byName)
+	}
+	if m := byName["m"]; m.Count != 1 || m.Sum != 3 || m.Max != 3 {
+		t.Errorf("histogram sample wrong: %+v", m)
+	}
+}
+
+// TestConcurrentRecordAndRegister hammers recording, registration and
+// snapshotting from many goroutines; run under -race this is the data-race
+// audit of the copy-on-write registry and atomic record paths.
+func TestConcurrentRecordAndRegister(t *testing.T) {
+	r := NewRegistry()
+	const procs = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			own := r.Counter(fmt.Sprintf("own.%d", p))
+			h := r.Histogram("hist")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				own.Inc()
+				h.Observe(int64(i))
+				if i%500 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != procs*per {
+		t.Errorf("shared counter = %d, want %d", got, procs*per)
+	}
+	h := r.Histogram("hist")
+	if got := h.Count(); got != procs*per {
+		t.Errorf("histogram count = %d, want %d", got, procs*per)
+	}
+	var bucketSum int64
+	for _, b := range h.Buckets() {
+		bucketSum += b.Count
+	}
+	if bucketSum != procs*per {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, procs*per)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("universal.cons_ops").Add(12)
+	r.Histogram("universal.replay_len").Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"METRIC", "universal.cons_ops", "counter", "12", "universal.replay_len", "histogram", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(5)
+	r.Histogram("lat").Observe(9)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var samples []Sample
+	if err := json.Unmarshal(buf.Bytes(), &samples); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 2 || samples[0].Name != "lat" || samples[1].Value != 5 {
+		t.Errorf("decoded %+v", samples)
+	}
+}
+
+func TestBucketLow(t *testing.T) {
+	for _, tc := range []struct {
+		i    int
+		want int64
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 4}, {10, 512}} {
+		if got := BucketLow(tc.i); got != tc.want {
+			t.Errorf("BucketLow(%d) = %d, want %d", tc.i, got, tc.want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"waitfree/internal/core"
 	"waitfree/internal/seqspec"
 	"waitfree/internal/shard"
+	"waitfree/internal/wfstats"
 )
 
 // Op is an operation invocation on a wait-free object.
@@ -151,6 +152,24 @@ func WithSnapshotInterval(k int) Option { return core.WithSnapshotInterval(k) }
 // WithoutFastReads routes read-only operations through the full write path
 // (cons + snapshot); useful for measuring the read fast path against it.
 func WithoutFastReads() Option { return core.WithoutFastReads() }
+
+// Metrics is a wait-free metrics registry (internal/wfstats): counters,
+// gauges and power-of-two histograms recorded with single atomic operations
+// — no locks, no allocation on the record path — and exported with
+// Snapshot, WriteText or WriteJSON. A nil *Metrics is the no-op mode.
+type Metrics = wfstats.Registry
+
+// MetricSample is one metric's value in a Metrics snapshot.
+type MetricSample = wfstats.Sample
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return wfstats.NewRegistry() }
+
+// WithMetrics records the construction's universal.* metrics into reg.
+// Instances sharing one registry aggregate (that is how a sharded front end
+// sums its shards); WithMetrics(nil) selects the no-op mode, under which
+// ReplayStats and FastReads read as zero.
+func WithMetrics(reg *Metrics) Option { return core.WithMetrics(reg) }
 
 // New builds a wait-free version of seq for n processes over fac. For a
 // sensible default fetch-and-cons, pass NewSwapFetchAndCons() (constant
