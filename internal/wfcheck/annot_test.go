@@ -143,6 +143,54 @@ func Prose() {}
 	}
 }
 
+func TestLockFreeDirective(t *testing.T) {
+	a, funcs := parseSrc(t, `
+package p
+
+//wf:lockfree CAS retry; some process always completes
+func Retry() {}
+
+//wf:lockfree
+func NoReason() {}
+`)
+	if got := a.Effective(funcs["Retry"]); got.Mode != ModeLockFree || !strings.Contains(got.Arg, "CAS retry") {
+		t.Errorf("Effective(Retry) = %+v, want wf:lockfree with its reason", got)
+	}
+	if len(a.Errors) != 1 || !strings.Contains(a.Errors[0].Message, "wf:lockfree requires a reason") {
+		t.Errorf("errors = %v, want one missing-reason error", a.Errors)
+	}
+}
+
+func TestInterfaceMethodContract(t *testing.T) {
+	a, _ := parseSrc(t, `
+package p
+
+type Prim interface {
+	// Op does the thing.
+	//
+	//wf:bounded contract: one primitive step
+	Op() int
+
+	Plain() int
+}
+`)
+	if len(a.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", a.Errors)
+	}
+	if len(a.Methods) != 1 {
+		t.Fatalf("Methods has %d entries, want 1", len(a.Methods))
+	}
+	for name, d := range a.Methods {
+		if name.Name != "Op" || d.Mode != ModeBounded || d.Arg != "contract: one primitive step" {
+			t.Errorf("Methods[%s] = %+v, want bounded contract on Op", name.Name, d)
+		}
+	}
+	// The contract must not leak into the loop-directive index.
+	if dirs := a.loopDirectives(); len(dirs) != 0 {
+		t.Errorf("interface contract recorded as loop directive: %v", dirs)
+	}
+}
+
 func TestLoopBoundedPlacement(t *testing.T) {
 	fset := token.NewFileSet()
 	src := `package p

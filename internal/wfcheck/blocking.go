@@ -20,62 +20,64 @@ var blockedCalls = map[string]string{
 	"time.Sleep":             "stalls unconditionally",
 }
 
-// analyzeBlocking builds the per-package call graph from the wf:waitfree
-// entry points (every unannotated function too, in audit mode) and flags
-// every blocking construct transitively reachable from them.
-func analyzeBlocking(p *Package, all bool) []Diagnostic {
+// analyzeBlocking builds the whole-program call graph from the wf:waitfree
+// entry points of the target packages (every unannotated function too, in
+// audit mode) and flags every blocking construct transitively reachable
+// from them. Calls resolve across package boundaries through the program
+// index; interface call sites conservatively fan out to every in-module
+// implementation; only the standard library and function values remain
+// unresolved boundaries.
+func analyzeBlocking(prog *Program, targets []*Package, all bool) []Diagnostic {
 	b := &blockingPass{
-		p:       p,
-		decls:   make(map[types.Object]*ast.FuncDecl),
+		prog:    prog,
 		visited: make(map[*ast.FuncDecl]bool),
 	}
-	var order []*ast.FuncDecl
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	for _, p := range targets {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				pf := prog.FuncOf(p.Info.Defs[fd.Name])
+				if pf == nil {
+					continue
+				}
+				mode := pf.Mode().Mode
+				if mode == ModeWaitFree || (all && mode == ModeNone) {
+					b.visit(pf, pf)
+				}
 			}
-			if obj := p.Info.Defs[fd.Name]; obj != nil {
-				b.decls[obj] = fd
-			}
-			order = append(order, fd)
-		}
-	}
-	for _, fd := range order {
-		mode := p.Annots.Effective(fd).Mode
-		if mode == ModeWaitFree || (all && mode == ModeNone) {
-			b.visit(fd, fd)
 		}
 	}
 	return b.diags
 }
 
 type blockingPass struct {
-	p       *Package
-	decls   map[types.Object]*ast.FuncDecl
+	prog    *Program
 	visited map[*ast.FuncDecl]bool
 	diags   []Diagnostic
 }
 
-// visit scans fd once, attributing findings to the entry point that first
+// visit scans pf once, attributing findings to the entry point that first
 // reached it.
-func (b *blockingPass) visit(fd, entry *ast.FuncDecl) {
-	if b.visited[fd] {
+func (b *blockingPass) visit(pf, entry *ProgFunc) {
+	if b.visited[pf.Decl] {
 		return
 	}
-	b.visited[fd] = true
-	b.scan(fd, entry)
+	b.visited[pf.Decl] = true
+	b.scan(pf, entry)
 }
 
-// scan walks one function body for blocking constructs and same-package
-// calls to traverse.
-func (b *blockingPass) scan(fd, entry *ast.FuncDecl) {
+// scan walks one function body for blocking constructs and calls to
+// traverse — same-package or not.
+func (b *blockingPass) scan(pf, entry *ProgFunc) {
+	p := pf.Pkg
 	// First pass: account for channel operations that appear as the comm
 	// statement of a select case — they do not block on their own if the
 	// select has a default; if it has none, the select itself is the finding.
 	accounted := make(map[ast.Node]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
 			return true
@@ -96,31 +98,31 @@ func (b *blockingPass) scan(fd, entry *ast.FuncDecl) {
 			})
 		}
 		if !hasDefault {
-			b.report(fd, entry, sel.Pos(), "select without a default case blocks until another process communicates")
+			b.report(pf, entry, sel.Pos(), "select without a default case blocks until another process communicates")
 		}
 		return true
 	})
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
 			if !accounted[n] {
-				b.report(fd, entry, n.Pos(), "channel send outside a select with default can block on a slow receiver")
+				b.report(pf, entry, n.Pos(), "channel send outside a select with default can block on a slow receiver")
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && !accounted[n] {
-				b.report(fd, entry, n.Pos(), "channel receive outside a select with default blocks until another process sends")
+				b.report(pf, entry, n.Pos(), "channel receive outside a select with default blocks until another process sends")
 			}
 		case *ast.RangeStmt:
-			if t := b.p.Info.TypeOf(n.X); t != nil {
+			if t := p.Info.TypeOf(n.X); t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan {
-					b.report(fd, entry, n.Pos(), "ranging over a channel blocks between messages")
+					b.report(pf, entry, n.Pos(), "ranging over a channel blocks between messages")
 				}
 			}
 		case *ast.ForStmt:
-			b.checkLoop(fd, entry, n)
+			b.checkLoop(pf, entry, n)
 		case *ast.CallExpr:
-			b.checkCall(fd, entry, n)
+			b.checkCall(pf, entry, n)
 		}
 		return true
 	})
@@ -131,18 +133,20 @@ func (b *blockingPass) scan(fd, entry *ast.FuncDecl) {
 // runtime.Gosched is a spin-wait on another process's progress. Loops whose
 // exit condition is local (three-clause scans, range over data) pass — the
 // analyzer is a conservative syntactic check, per Theorem 6's spirit of
-// trading completeness for decidability.
-func (b *blockingPass) checkLoop(fd, entry *ast.FuncDecl, loop *ast.ForStmt) {
-	if b.p.Annots.LoopBounded(loop.Pos()) {
+// trading completeness for decidability. A loop-line wf:bounded or
+// wf:lockfree directive suppresses the shape checks; boundcert and progress
+// then audit the directive itself.
+func (b *blockingPass) checkLoop(pf, entry *ProgFunc, loop *ast.ForStmt) {
+	if pf.Pkg.Annots.LoopDirective(loop.Pos()) != nil {
 		return
 	}
 	if loop.Cond == nil {
-		b.report(fd, entry, loop.Pos(),
-			"unbounded loop: no exit condition; justify with //wf:bounded <bound> or restructure with helping")
+		b.report(pf, entry, loop.Pos(),
+			"unbounded loop: no exit condition; justify with //wf:bounded <bound> or //wf:lockfree <reason>, or restructure with helping")
 		return
 	}
-	if gosched := goschedIn(b.p, loop); gosched.IsValid() {
-		b.report(fd, entry, loop.Pos(),
+	if gosched := goschedIn(pf.Pkg, loop); gosched.IsValid() {
+		b.report(pf, entry, loop.Pos(),
 			"spin loop: runtime.Gosched marks waiting on another process's progress; justify with //wf:bounded <bound> or restructure with helping")
 	}
 }
@@ -166,26 +170,62 @@ func goschedIn(p *Package, loop *ast.ForStmt) token.Pos {
 }
 
 // checkCall flags blocking standard-library calls and traverses or flags
-// same-package callees according to their annotations.
-func (b *blockingPass) checkCall(fd, entry *ast.FuncDecl, call *ast.CallExpr) {
-	f := calleeFunc(b.p, call)
+// resolvable callees according to their annotations. Interface dispatch
+// fans out to every in-module implementation.
+func (b *blockingPass) checkCall(pf, entry *ProgFunc, call *ast.CallExpr) {
+	f := calleeFunc(pf.Pkg, call)
 	if f == nil {
 		return // conversion, builtin, or dynamic call through a function value
 	}
 	full := f.FullName()
 	if why, ok := blockedCalls[full]; ok {
 		name := strings.NewReplacer("(*", "", ")", "").Replace(full)
-		b.report(fd, entry, call.Pos(), fmt.Sprintf("calls %s: %s", name, why))
+		b.report(pf, entry, call.Pos(), fmt.Sprintf("calls %s: %s", name, why))
 		return
 	}
-	target := b.decls[f]
-	if target == nil {
-		return // other package or no body: trusted at the package boundary
+	if isInterfaceMethod(f) {
+		if d := b.prog.Contract(f); d != nil {
+			// The interface declares a contract; trust or flag the call on
+			// the contract's own terms. Implementations are still audited at
+			// their declarations — a wf:waitfree implementation is its own
+			// entry point, and a wf:blocking one (the demo harnesses) is
+			// honest about breaking the contract and answers only to its own
+			// callers.
+			switch d.Mode {
+			case ModeBlocking:
+				b.report(pf, entry, call.Pos(),
+					fmt.Sprintf("calls %s, whose interface contract is wf:blocking (%s)", f.FullName(), d.Arg))
+			case ModeLockFree:
+				b.report(pf, entry, call.Pos(),
+					fmt.Sprintf("calls %s, whose interface contract is wf:lockfree (%s): lock-free progress does not compose into wait-freedom", f.FullName(), d.Arg))
+			}
+			return
+		}
+		for _, impl := range b.prog.Implementations(f) {
+			b.follow(pf, entry, impl, call, true)
+		}
+		return
 	}
-	switch d := b.p.Annots.Effective(target); d.Mode {
+	target := b.prog.FuncOf(f)
+	if target == nil {
+		return // standard library or bodyless: trusted at the module boundary
+	}
+	b.follow(pf, entry, target, call, false)
+}
+
+// follow handles one resolved callee according to its effective directive.
+func (b *blockingPass) follow(pf, entry *ProgFunc, target *ProgFunc, call *ast.CallExpr, dynamic bool) {
+	via := "calls"
+	if dynamic {
+		via = "may dispatch to"
+	}
+	switch d := target.Mode(); d.Mode {
 	case ModeBlocking:
-		b.report(fd, entry, call.Pos(),
-			fmt.Sprintf("calls %s, annotated wf:blocking (%s)", b.funcName(target), d.Arg))
+		b.report(pf, entry, call.Pos(),
+			fmt.Sprintf("%s %s, annotated wf:blocking (%s)", via, target.Name(pf.Pkg), d.Arg))
+	case ModeLockFree:
+		b.report(pf, entry, call.Pos(),
+			fmt.Sprintf("%s %s, annotated wf:lockfree (%s): lock-free progress does not compose into wait-freedom", via, target.Name(pf.Pkg), d.Arg))
 	case ModeBounded:
 		// Trusted manual bound; do not descend.
 	case ModeWaitFree:
@@ -197,34 +237,22 @@ func (b *blockingPass) checkCall(fd, entry *ast.FuncDecl, call *ast.CallExpr) {
 
 // report records a finding, naming the containing function and, when it
 // differs, the wait-free entry point that reaches it.
-func (b *blockingPass) report(fd, entry *ast.FuncDecl, pos token.Pos, msg string) {
-	where := b.funcName(fd)
+func (b *blockingPass) report(pf, entry *ProgFunc, pos token.Pos, msg string) {
+	where := pf.Name(pf.Pkg)
 	label := "wf:waitfree"
-	if b.p.Annots.Effective(entry).Mode != ModeWaitFree {
+	if entry.Mode().Mode != ModeWaitFree {
 		label = "unannotated" // audit-mode entry, assumed wait-free
 	}
 	var context string
-	if fd != entry {
-		context = fmt.Sprintf(" (in %s, reached from %s %s)", where, label, b.funcName(entry))
+	if pf.Decl != entry.Decl {
+		context = fmt.Sprintf(" (in %s, reached from %s %s)", where, label, entry.Name(pf.Pkg))
 	} else {
 		context = fmt.Sprintf(" (in %s %s)", label, where)
 	}
 	b.diags = append(b.diags, Diagnostic{
-		Pos: b.p.Fset.Position(pos), Analyzer: "blocking",
+		Pos: pf.Pkg.Fset.Position(pos), Analyzer: "blocking",
 		Message: msg + context,
 	})
-}
-
-// funcName renders a declaration as pkg-local "F" or "(*T).M".
-func (b *blockingPass) funcName(fd *ast.FuncDecl) string {
-	if obj, ok := b.p.Info.Defs[fd.Name].(*types.Func); ok {
-		full := obj.FullName()
-		if b.p.TPkg != nil {
-			full = strings.ReplaceAll(full, b.p.TPkg.Path()+".", "")
-		}
-		return full
-	}
-	return fd.Name.Name
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes, or

@@ -1,0 +1,79 @@
+package wfcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBoundCertification pins the certification engine against the
+// boundcert fixture: each directive's status, keyed by its stated
+// argument, must match the class the engine claims to prove.
+func TestBoundCertification(t *testing.T) {
+	_, p := loadFixture(t, "boundcert")
+	records, diags := analyzeBounds(p)
+
+	want := map[string]BoundStatus{
+		"one iteration per element": BoundVerified, // range over a slice
+		"n iterations":              BoundVerified, // counted three-clause loop
+		"v[0] strictly increases and the loop exits at n":                 BoundVerified,     // monotone counter with threshold exit
+		"at most n iterations; skip never stalls i forever by assumption": BoundTrusted,      // conditional step: unprovable
+		"n iterations despite the moving goal":                            BoundContradicted, // the body raises its own bound
+		"fixture: exercised by the bounds report only":                    BoundLockFree,     // wf:lockfree admission
+	}
+	got := make(map[string]BoundStatus, len(records))
+	for _, r := range records {
+		got[r.Arg] = r.Status
+	}
+	for arg, status := range want {
+		if got[arg] != status {
+			t.Errorf("bound %q certified %q, want %q", arg, got[arg], status)
+		}
+	}
+	// The unattached directive is not a record; it is an error diagnostic.
+	if _, ok := got["this directive attaches to no loop"]; ok {
+		t.Errorf("unattached directive produced a bounds record")
+	}
+
+	var errs []string
+	for _, d := range diags {
+		errs = append(errs, d.Message)
+	}
+	joined := strings.Join(errs, "\n")
+	for _, wantMsg := range []string{
+		"is contradicted",
+		"the loop body writes n, the loop's own bound",
+		"attaches to no loop",
+	} {
+		if !strings.Contains(joined, wantMsg) {
+			t.Errorf("boundcert diagnostics missing %q in:\n%s", wantMsg, joined)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d boundcert diagnostics, want 2 (contradiction + unattached):\n%s", len(diags), joined)
+	}
+}
+
+// TestTreeBoundsReport runs the certifier over the real internal/protocols
+// package and pins the PR's headline: the assignment-protocol scan loops,
+// previously trusted on their stated arguments, are now machine-verified
+// as monotone counters.
+func TestTreeBoundsReport(t *testing.T) {
+	_, p := loadFixture(t, "../../../protocols")
+	records, diags := analyzeBounds(p)
+	if len(diags) != 0 {
+		t.Fatalf("internal/protocols has boundcert diagnostics: %v", diags)
+	}
+	verified := 0
+	for _, r := range records {
+		if r.Status == BoundVerified {
+			verified++
+			if !strings.Contains(r.Detail, "monotone counter") {
+				t.Errorf("verified bound at %s:%d proved by %q, want the monotone-counter class",
+					r.Pos.Filename, r.Pos.Line, r.Detail)
+			}
+		}
+	}
+	if verified < 4 {
+		t.Errorf("internal/protocols has %d verified bounds, want the 4 assignment-scan loops", verified)
+	}
+}

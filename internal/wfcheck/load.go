@@ -65,6 +65,19 @@ func NewLoader(root string) (*Loader, error) {
 	}, nil
 }
 
+// Packages returns every module package this loader has loaded so far —
+// the directly requested ones and everything pulled in transitively through
+// module-internal imports — sorted by import path for deterministic
+// whole-program traversal.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // FindModuleRoot walks upward from dir to the nearest directory containing
 // go.mod.
 func FindModuleRoot(dir string) (string, error) {

@@ -1,0 +1,241 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// progress is the static mirror of the paper's central distinction: a
+// wait-free operation completes in a bounded number of its *own* steps
+// (Herlihy §1), while a lock-free one only guarantees that *some* process
+// completes — a CAS retry loop spins exactly when other processes keep
+// winning. The universal construction escapes this through helping
+// (Figure 4-5: every process announces, every process propagates others'
+// announced operations), so a retry path that performs no shared write
+// cannot be helping anyone and the loop is lock-free at best. The pass
+// detects such loops — a condition-less `for` whose every exit requires
+// this process's CompareAndSwap to succeed or a re-read of shared state to
+// change, with no helping write on the retry path — and requires them to be
+// annotated honestly: wf:blocking on the function, or the loop-line
+// wf:lockfree <reason> acknowledgment. A wf:bounded claim on such a loop is
+// rejected: its trip count is a fact about other processes' schedules,
+// which is precisely what a step bound must not depend on.
+
+// analyzeProgress lints every function that is not declared blocking or
+// lock-free; the audit runs on unannotated functions too, because a
+// disguised retry loop is as wrong there as in a wf:waitfree function.
+func analyzeProgress(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch p.Annots.Effective(fd).Mode {
+			case ModeBlocking, ModeLockFree:
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return true
+				}
+				d := p.Annots.LoopDirective(loop.Pos())
+				if d != nil && d.Mode == ModeLockFree {
+					return true // acknowledged; surfaced in the bounds report
+				}
+				if !isCASRetryLoop(p, loop) {
+					return true
+				}
+				if d != nil && d.Mode == ModeBounded {
+					diags = append(diags, Diagnostic{
+						Pos: p.Fset.Position(loop.Pos()), Analyzer: "progress",
+						Message: fmt.Sprintf("wf:bounded (%s) claims a step bound, but this CAS retry loop's trip count depends on other processes' writes; annotate //wf:lockfree <reason> or add a helping write (in %s)", d.Arg, fd.Name.Name),
+					})
+				} else {
+					diags = append(diags, Diagnostic{
+						Pos: p.Fset.Position(loop.Pos()), Analyzer: "progress",
+						Message: fmt.Sprintf("lock-free retry loop: every exit needs this process's CAS to win or shared state to change, and the retry path helps no one; annotate //wf:blocking on the function or //wf:lockfree <reason> on the loop, or restructure with helping (in %s)", fd.Name.Name),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isCASRetryLoop reports whether loop (condition-less) matches the
+// lock-free-but-not-wait-free shape: at least one exit guarded by a
+// condition containing a sync/atomic CompareAndSwap, every exit
+// conditional (so a retry remains possible on every iteration), and no
+// helping write — no atomic mutation besides the exit CASes and no plain
+// write through a field, pointer or index — on the retry path.
+func isCASRetryLoop(p *Package, loop *ast.ForStmt) bool {
+	casGuarded := 0
+	unconditional := 0
+	exitCASes := make(map[*ast.CallExpr]bool)
+
+	// recordExit classifies one conditional exit: guards containing a CAS
+	// mark a CAS-success exit (and those CAS calls become the loop's exit
+	// CASes, exempt from helping-write credit).
+	recordExit := func(guards []ast.Expr) {
+		found := false
+		for _, g := range guards {
+			ast.Inspect(g, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isCASCall(p, call) {
+					exitCASes[call] = true
+					found = true
+				}
+				return true
+			})
+		}
+		if found {
+			casGuarded++
+		}
+	}
+
+	var walkExits func(n ast.Node, guards []ast.Expr)
+	walkExits = func(n ast.Node, guards []ast.Expr) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // its returns do not exit this loop
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Nested regions where a plain break does not exit this loop;
+			// returns (and labeled breaks) still do. Approximate them as
+			// conditional exits under the guards in force at the region.
+			ast.Inspect(s.(ast.Node), func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				switch mm := m.(type) {
+				case *ast.ReturnStmt:
+					recordExit(guards)
+				case *ast.BranchStmt:
+					if mm.Tok == token.BREAK && mm.Label != nil {
+						recordExit(guards)
+					}
+				}
+				return true
+			})
+			return
+		case *ast.IfStmt:
+			walkExits(s.Init, guards)
+			inner := append(append([]ast.Expr(nil), guards...), s.Cond)
+			for _, st := range s.Body.List {
+				walkExits(st, inner)
+			}
+			walkExits(s.Else, inner)
+			return
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walkExits(st, guards)
+			}
+			return
+		case *ast.ReturnStmt:
+			if len(guards) == 0 {
+				unconditional++
+				return
+			}
+			recordExit(guards)
+			return
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				if len(guards) == 0 {
+					unconditional++
+					return
+				}
+				recordExit(guards)
+			}
+			return
+		case *ast.LabeledStmt:
+			walkExits(s.Stmt, guards)
+			return
+		}
+	}
+	for _, st := range loop.Body.List {
+		walkExits(st, nil)
+	}
+
+	if casGuarded == 0 || unconditional > 0 {
+		return false
+	}
+
+	// Helping write: any atomic mutation other than the exit CASes, or any
+	// plain write through a field, pointer or index — the shared-state
+	// writes a helping protocol would perform on the retry path.
+	helping := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if helping {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if !exitCASes[s] && isAtomicMutation(p, s) {
+				helping = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if isSharedLvalue(p, lhs) {
+					helping = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isSharedLvalue(p, s.X) {
+				helping = true
+			}
+		}
+		return !helping
+	})
+	return !helping
+}
+
+// isCASCall reports a sync/atomic compare-and-swap: the package functions
+// (CompareAndSwapInt64, ...) or the methods of the atomic wrapper types.
+func isCASCall(p *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(p, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return strings.HasPrefix(f.Name(), "CompareAndSwap")
+}
+
+// isAtomicMutation reports a sync/atomic call that writes shared state:
+// stores, adds, swaps, bit operations, and CAS (a non-exit CAS is a
+// helping install attempt).
+func isAtomicMutation(p *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(p, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := f.Name()
+	for _, prefix := range []string{"Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSharedLvalue reports an assignment target that can be shared state: a
+// struct field, a pointer dereference, or an element of something reached
+// through one — anything that is not a plain local identifier or an index
+// into one.
+func isSharedLvalue(p *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return fieldOf(p, e) != nil
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return isSharedLvalue(p, e.X)
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pubsafety checks the release/acquire discipline behind the publication
+// idiom: a writer fills plain payload fields, then publishes them with an
+// atomic store to a flag or pointer field of the same struct; readers must
+// load that publication field atomically *before* touching the payload, or
+// the happens-before edge the release store created never reaches them and
+// the payload read races. atomicmix catches a single field accessed both
+// atomically and plainly; pubsafety catches the cross-field version —
+// payload written under a release of X, read without an acquire of X —
+// which only exists for the wrapper types (atomic.Int64, atomic.Pointer,
+// atomic.Value, ...) whose every direct access is atomic and therefore
+// invisible to atomicmix.
+//
+// The check is scoped to same-struct pairs to stay precise: field F of
+// struct T counts as published only when some function plainly writes F
+// and atomically stores a wrapper-typed field X of the same T; a plain
+// read of F is then flagged in any function that neither acquires (Load,
+// CompareAndSwap, Swap on a wrapper field of T) nor releases T itself
+// (the writer reads its own plain writes in program order).
+func analyzePubSafety(p *Package) []Diagnostic {
+	type fieldAt struct {
+		field *types.Var
+		owner *types.Named
+		pos   token.Pos
+	}
+	type funcFacts struct {
+		decl        *ast.FuncDecl
+		releases    map[*types.Named]bool
+		acquires    map[*types.Named]bool
+		plainWrites []fieldAt
+		plainReads  []fieldAt
+	}
+
+	// pubName remembers, per struct, the wrapper field used to publish it
+	// (the first one released), for the diagnostic message.
+	pubName := make(map[*types.Named]string)
+	var facts []*funcFacts
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := &funcFacts{
+				decl:     fd,
+				releases: make(map[*types.Named]bool),
+				acquires: make(map[*types.Named]bool),
+			}
+			// writeTargets marks selectors appearing as assignment targets so
+			// the read pass can skip them.
+			writeTargets := make(map[ast.Expr]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fun, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					base, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					field := fieldOf(p, base)
+					if field == nil || !isAtomicWrapper(field.Type()) {
+						return true
+					}
+					owner := ownerStruct(p, base)
+					if owner == nil {
+						return true
+					}
+					switch fun.Sel.Name {
+					case "Store":
+						ff.releases[owner] = true
+						if _, ok := pubName[owner]; !ok {
+							pubName[owner] = field.Name()
+						}
+					case "CompareAndSwap", "Swap":
+						// Both read and write the publication word.
+						ff.releases[owner] = true
+						ff.acquires[owner] = true
+						if _, ok := pubName[owner]; !ok {
+							pubName[owner] = field.Name()
+						}
+					case "Load":
+						ff.acquires[owner] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						writeTargets[sel] = true
+						if field := fieldOf(p, sel); field != nil && !isAtomicWrapper(field.Type()) {
+							if owner := ownerStruct(p, sel); owner != nil {
+								ff.plainWrites = append(ff.plainWrites, fieldAt{field, owner, sel.Pos()})
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						writeTargets[sel] = true
+						if field := fieldOf(p, sel); field != nil && !isAtomicWrapper(field.Type()) {
+							if owner := ownerStruct(p, sel); owner != nil {
+								ff.plainWrites = append(ff.plainWrites, fieldAt{field, owner, sel.Pos()})
+								ff.plainReads = append(ff.plainReads, fieldAt{field, owner, sel.Pos()})
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || writeTargets[sel] {
+					// An lhs selector is the write already recorded above.
+					return true
+				}
+				field := fieldOf(p, sel)
+				if field == nil || isAtomicWrapper(field.Type()) {
+					return true
+				}
+				if owner := ownerStruct(p, sel); owner != nil {
+					ff.plainReads = append(ff.plainReads, fieldAt{field, owner, sel.Pos()})
+				}
+				return true
+			})
+			facts = append(facts, ff)
+		}
+	}
+
+	// A payload field is published when one function both plainly writes it
+	// and releases a wrapper field of the same struct.
+	published := make(map[*types.Var]token.Pos)
+	for _, ff := range facts {
+		for _, w := range ff.plainWrites {
+			if ff.releases[w.owner] {
+				if _, seen := published[w.field]; !seen {
+					published[w.field] = w.pos
+				}
+			}
+		}
+	}
+	if len(published) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, ff := range facts {
+		for _, r := range ff.plainReads {
+			wpos, ok := published[r.field]
+			if !ok || ff.acquires[r.owner] || ff.releases[r.owner] {
+				continue
+			}
+			where := p.Fset.Position(wpos)
+			diags = append(diags, Diagnostic{
+				Pos: p.Fset.Position(r.pos), Analyzer: "pubsafety",
+				Message: fmt.Sprintf("plain read of %s.%s, which is published under an atomic store of %s.%s (write at %s:%d); load %s first or the release never reaches this reader (in %s)",
+					r.owner.Obj().Name(), r.field.Name(), r.owner.Obj().Name(), pubName[r.owner], where.Filename, where.Line, pubName[r.owner], ff.decl.Name.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// isAtomicWrapper reports a sync/atomic wrapper type (atomic.Int64,
+// atomic.Pointer[T], atomic.Value, ...), whose direct accesses are always
+// atomic.
+func isAtomicWrapper(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// ownerStruct resolves the named struct type a field selection reads
+// through, dereferencing one pointer level.
+func ownerStruct(p *Package, sel *ast.SelectorExpr) *types.Named {
+	s := p.Info.Selections[sel]
+	if s == nil {
+		return nil
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

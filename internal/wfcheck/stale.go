@@ -1,0 +1,148 @@
+package wfcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// stale flags directives that no longer earn their keep: an annotation is
+// a claim addressed to the analyzers, and when the code beneath it has
+// changed shape until no analyzer would say anything without it, the
+// directive documents a constraint that no longer exists — the static
+// analogue of a comment drifting from its code. Findings here are
+// warnings, reported only under -all and never failing the run: a stale
+// directive is overly conservative, not unsound.
+//
+// The test is shape-relative, not mode-relative: a function-level
+// directive is stale when auditing the function as if it were an
+// unannotated wait-free entry point produces no finding, it contains no
+// loop-line-justified loop, and it calls nothing that carries a
+// non-waitfree claim of its own; a loop-line directive is stale when the
+// loop's own shape (an exit condition, no Gosched spin) already satisfies
+// every analyzer.
+func analyzeStale(prog *Program, targets []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range targets {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if d := p.Annots.Funcs[fd]; d != nil {
+					switch d.Mode {
+					case ModeBlocking, ModeLockFree, ModeBounded:
+						if !justifiesDirective(prog, p, fd) {
+							diags = append(diags, Diagnostic{
+								Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
+								Message: fmt.Sprintf("stale %s (%s) on %s: the analyzers find nothing in it that a wait-free function could not contain; remove the directive or update the reason", d.Mode, d.Arg, fd.Name.Name),
+							})
+						}
+					}
+				}
+				diags = append(diags, staleLoopDirectives(prog, p, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+// justifiesDirective reports whether fd, audited as an unannotated
+// wait-free entry point, gives the analyzers anything to say — a blocking
+// finding, a loop carrying its own justification, or a direct call to a
+// function whose effective mode makes a non-waitfree claim (a bounded
+// wrapper around a bounded primitive is the substitution-table idiom, not
+// staleness).
+func justifiesDirective(prog *Program, p *Package, fd *ast.FuncDecl) bool {
+	pf := prog.FuncOf(p.Info.Defs[fd.Name])
+	if pf == nil {
+		return true // unresolvable: stay quiet
+	}
+	b := &blockingPass{prog: prog, visited: make(map[*ast.FuncDecl]bool)}
+	b.visit(pf, pf)
+	if len(b.diags) > 0 {
+		return true
+	}
+	justified := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if justified {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if p.Annots.LoopDirective(n.Pos()) != nil {
+				justified = true
+			}
+		case *ast.RangeStmt:
+			if p.Annots.LoopDirective(n.Pos()) != nil {
+				justified = true
+			}
+		case *ast.CallExpr:
+			f := calleeFunc(p, n)
+			if f == nil {
+				return true
+			}
+			var callees []*ProgFunc
+			if isInterfaceMethod(f) {
+				if d := prog.Contract(f); d != nil {
+					switch d.Mode {
+					case ModeBounded, ModeLockFree, ModeBlocking:
+						justified = true
+					}
+					return true
+				}
+				callees = prog.Implementations(f)
+			} else if t := prog.FuncOf(f); t != nil {
+				callees = []*ProgFunc{t}
+			}
+			for _, c := range callees {
+				switch c.Mode().Mode {
+				case ModeBounded, ModeLockFree, ModeBlocking:
+					justified = true
+				}
+			}
+		}
+		return !justified
+	})
+	return justified
+}
+
+// staleLoopDirectives warns about loop-line directives sitting on loops
+// whose shape no analyzer flags: an exit condition with no Gosched spin
+// needs no justification, so the directive is decoration that will drift.
+func staleLoopDirectives(prog *Program, p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			d := p.Annots.LoopDirective(n.Pos())
+			if d == nil {
+				return true
+			}
+			if n.Cond == nil || goschedIn(p, n).IsValid() {
+				return true // the shape would be flagged; directive is load-bearing
+			}
+			diags = append(diags, Diagnostic{
+				Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
+				Message: fmt.Sprintf("stale %s (%s): this loop's own exit condition already satisfies the analyzers; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name),
+			})
+		case *ast.RangeStmt:
+			d := p.Annots.LoopDirective(n.Pos())
+			if d == nil {
+				return true
+			}
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true // blocking flags channel ranges regardless
+				}
+			}
+			diags = append(diags, Diagnostic{
+				Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
+				Message: fmt.Sprintf("stale %s (%s): range loops are bounded by their operand; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name),
+			})
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,82 @@
+// Package boundcert exercises the wf:bounded certification engine: loops
+// the engine proves, loops it merely trusts, and claims it refutes.
+package boundcert
+
+// Verified class 1: range over finite data.
+func SumRange(xs []int) int {
+	total := 0
+	//wf:bounded one iteration per element
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Verified class 2: counted loop with a guaranteed step toward a stable
+// bound.
+func Counted(n int) int {
+	total := 0
+	//wf:bounded n iterations
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Verified class 3: condition-less loop opening with a monotone counter
+// step and a threshold exit (the assignment-protocol scan shape).
+func Monotone(v []int64, n int) bool {
+	//wf:bounded v[0] strictly increases and the loop exits at n
+	for {
+		v[0]++
+		if int(v[0]) >= n {
+			return false
+		}
+		if v[int(v[0])] != 0 {
+			return true
+		}
+	}
+}
+
+// Trusted: the step is conditional, so the engine cannot prove the bound
+// and accepts the stated argument.
+func ConditionalStep(n int, skip func(int) bool) int {
+	i := 0
+	//wf:bounded at most n iterations; skip never stalls i forever by assumption
+	for i < n {
+		if !skip(i) {
+			i++
+		}
+	}
+	return i
+}
+
+// Contradicted: the loop body raises its own bound, refuting the claim.
+func MovingGoal(n int) int {
+	total := 0
+	//wf:bounded n iterations despite the moving goal
+	for i := 0; i < n; i++ {
+		n++
+		total++
+	}
+	return total
+}
+
+// Lockfree rows come from acknowledged retry loops; the progress analyzer
+// audits the shape, boundcert only records the admission.
+func Acknowledge(done func() bool) {
+	//wf:lockfree fixture: exercised by the bounds report only
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// Stray holds a loop-line directive adjacent to no loop; the attachment
+// check must flag it instead of silently dropping the claim.
+func Stray() int {
+	//wf:bounded this directive attaches to no loop
+	x := 0
+	return x
+}

@@ -1,0 +1,51 @@
+// Package contract exercises interface contract directives: an annotated
+// interface method settles the dispatch site on the contract's terms,
+// while an unannotated one fans out to every in-module implementation.
+package contract
+
+import "sync"
+
+// Prim is the fixture interface: one trusted contract, one blocking
+// contract, one method left to fan-out.
+type Prim interface {
+	// Gated is advertised as a primitive step; dispatch sites trust it.
+	//
+	//wf:bounded contract: one simulated primitive step
+	Gated() int
+
+	// Stall is advertised as blocking; dispatch sites are flagged.
+	//
+	//wf:blocking contract: waits for a peer by design
+	Stall() int
+
+	// Op carries no contract, so a dispatch reaches every implementation.
+	Op() int
+}
+
+// SlowImpl implements Prim with honestly annotated blocking bodies.
+type SlowImpl struct{ mu sync.Mutex }
+
+// Gated implements the trusted contract with a gate, like the simulated
+// primitives do.
+//
+//wf:bounded one gated step (fixture)
+func (s *SlowImpl) Gated() int { s.mu.Lock(); defer s.mu.Unlock(); return 1 }
+
+// Stall implements the blocking contract.
+//
+//wf:blocking waits on the fixture mutex
+func (s *SlowImpl) Stall() int { s.mu.Lock(); defer s.mu.Unlock(); return 2 }
+
+// Op blocks too; only the fan-out can discover that.
+//
+//wf:blocking waits on the fixture mutex
+func (s *SlowImpl) Op() int { s.mu.Lock(); defer s.mu.Unlock(); return 3 }
+
+// Drive dispatches through the interface from a wait-free context: Gated
+// passes (trusted contract), Stall is flagged by its contract, Op is
+// flagged by fan-out.
+//
+//wf:waitfree
+func Drive(p Prim) int {
+	return p.Gated() + p.Stall() + p.Op()
+}

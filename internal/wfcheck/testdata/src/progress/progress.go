@@ -1,0 +1,56 @@
+// Package progress exercises the lock-free-vs-wait-free lint: CAS retry
+// loops whose retry path helps no one.
+package progress
+
+import "sync/atomic"
+
+type counter struct {
+	v    atomic.Int64
+	note int64
+}
+
+// BareRetry is the textbook lock-free shape: the only exit is this
+// process's CAS winning, and a loser does nothing for anyone else.
+func BareRetry(c *counter) int64 {
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old+1) {
+			return old
+		}
+	}
+}
+
+// ClaimedBounded puts a wf:bounded on the same shape; the bound is a fact
+// about other processes' schedules, so the claim is rejected.
+func ClaimedBounded(c *counter) int64 {
+	//wf:bounded retries are rare in practice
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old+1) {
+			return old
+		}
+	}
+}
+
+// Acknowledged admits the shape with wf:lockfree and passes.
+func Acknowledged(c *counter) int64 {
+	//wf:lockfree contended increment; some process always completes
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old+1) {
+			return old
+		}
+	}
+}
+
+// Helping writes shared state on the retry path — the helping pattern of
+// the universal construction — so the loop is not a bare retry and passes.
+func Helping(c *counter, scratch *atomic.Int64) int64 {
+	for {
+		old := c.v.Load()
+		scratch.Store(old)
+		if c.v.CompareAndSwap(old, old+1) {
+			return old
+		}
+	}
+}

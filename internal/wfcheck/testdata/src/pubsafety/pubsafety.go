@@ -1,0 +1,33 @@
+// Package pubsafety exercises the publication release/acquire check: a
+// payload field written plainly and published by an atomic store must not
+// be read without the acquiring load.
+package pubsafety
+
+import "sync/atomic"
+
+type box struct {
+	payload int
+	extra   int
+	ready   atomic.Bool
+}
+
+// Publish is the release side: fill the payload, then store the flag.
+func Publish(b *box, v int) {
+	b.payload = v
+	b.extra = v * 2
+	b.ready.Store(true)
+}
+
+// GoodReader acquires before touching the payload.
+func GoodReader(b *box) int {
+	if !b.ready.Load() {
+		return 0
+	}
+	return b.payload
+}
+
+// BadReader reads the payload with no acquiring load: the release edge
+// from Publish never reaches it.
+func BadReader(b *box) int {
+	return b.payload + b.extra
+}

@@ -1,0 +1,47 @@
+// Package stale exercises stale-directive detection: annotations the
+// analyzers no longer need. Audited with Config{All: true}; stale findings
+// are warnings and never fail a run.
+package stale
+
+import "sync"
+
+// Honest blocks and says so: not stale.
+//
+//wf:blocking holds mu across the critical section
+func Honest(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Reformed was rewritten lock-free but kept its old annotation: stale.
+//
+//wf:blocking takes the registry lock
+func Reformed(x *int) {
+	*x++
+}
+
+// TidyLoop carries a loop-line bound on a loop whose own condition already
+// satisfies every analyzer: stale.
+func TidyLoop(n int) int {
+	total := 0
+	//wf:bounded n iterations
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// EarnedLoop's directive is load-bearing — the condition-less shape would
+// be flagged without it: not stale.
+func EarnedLoop(v []int64, n int) bool {
+	//wf:bounded v[0] strictly increases and the loop exits at n
+	for {
+		v[0]++
+		if int(v[0]) >= n {
+			return false
+		}
+		if v[int(v[0])] != 0 {
+			return true
+		}
+	}
+}

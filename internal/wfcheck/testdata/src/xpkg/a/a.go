@@ -1,0 +1,23 @@
+// Package a is the callee side of the cross-package fixture: helpers whose
+// blocking nature is invisible to a per-package analysis of the caller.
+package a
+
+import "sync"
+
+var mu sync.Mutex
+
+// Helper is unannotated and takes a lock: per-package analysis of a caller
+// in another package cannot see the body and trusts the call.
+func Helper() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Declared is honest about blocking, but the annotation lives in this
+// package: a per-package analysis of the caller cannot read it either.
+//
+//wf:blocking waits on the package mutex
+func Declared() {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -3,7 +3,7 @@
 // which primitives a construction touches — Theorem 6 turns "can A implement
 // B wait-free?" into a decidable, mechanical test — and wfcheck applies the
 // same discipline to the code itself: a function that claims wait-freedom
-// must not reach, through any call chain inside its package, a construct
+// must not reach, through any call chain inside the module, a construct
 // that can stall on another process's progress.
 //
 // # Annotation convention
@@ -25,23 +25,51 @@
 //	    (the repo's simulated hardware primitives — mutex gates whose
 //	    critical section is one constant-time step in the paper's cost
 //	    model — carry this form). On its own comment line directly above or
-//	    beside a `for` loop: that loop's iteration count is justified and
-//	    the loop-shape checks are suppressed.
+//	    beside a loop: that loop's iteration count is justified. boundcert
+//	    audits every claim: loop-line bounds it can prove are reported
+//	    verified, the rest stay trusted, and a bound whose loop mutates its
+//	    own limit is contradicted (an error).
+//	//wf:lockfree <reason>
+//	    The lock-free admission. On a function: some process always makes
+//	    progress but this one may retry forever, so calling it from a
+//	    wf:waitfree context is a violation — lock-free progress does not
+//	    compose into wait-freedom. On a loop line: acknowledges one CAS
+//	    retry loop, satisfying the progress analyzer while keeping the loop
+//	    visible in the bounds report.
 //
-// A declaration carrying both wf:waitfree and wf:blocking is an error.
-// Directives in _test.go files are ignored: test harnesses may block freely.
+// A declaration carrying conflicting directives is an error. Directives in
+// _test.go files are ignored: test harnesses may block freely.
 //
 // # Analyzers
 //
-// blocking: builds a per-package call graph from the wf:waitfree entry
+// blocking: builds the whole-program call graph from the wf:waitfree entry
 // points and flags transitive reachability of sync.Mutex/RWMutex.Lock,
 // WaitGroup.Wait, Cond.Wait, time.Sleep, channel operations outside a
 // select with a default case, loops with no exit condition, spin loops that
-// yield via runtime.Gosched, and calls to wf:blocking functions. The call
-// graph is per-package by design: package boundaries are where the paper's
-// cost model draws the primitive-step line (see DESIGN.md's substitution
-// table) — a package exports operations advertised as single primitive
-// steps, and wait-freedom is audited against that advertisement.
+// yield via runtime.Gosched, and calls to wf:blocking or wf:lockfree
+// functions. Calls resolve across package boundaries through the module's
+// import graph; interface call sites conservatively fan out to every
+// in-module implementation; only the standard library is a trusted
+// boundary.
+//
+// boundcert: audits every wf:bounded directive and classifies it verified
+// (the engine proves the bound: range over fixed data, counted loops with a
+// guaranteed step toward a stable limit, monotone counters with a threshold
+// exit), trusted (the stated argument stands on its own), or contradicted
+// (the loop writes its own bound — an error). Unattached loop-line
+// directives are errors too.
+//
+// progress: detects CAS retry loops — condition-less loops whose every exit
+// needs this process's CompareAndSwap to win or shared state to change,
+// with no helping write on the retry path. Such a loop is lock-free, not
+// wait-free (the paper's universal construction exists precisely to avoid
+// this shape), and must carry //wf:lockfree or sit in a wf:blocking
+// function; claiming wf:bounded on one is an error.
+//
+// pubsafety: checks the publication idiom's release/acquire discipline —
+// payload fields written plainly and published by an atomic store to a
+// wrapper-typed field of the same struct must not be read without first
+// loading that field atomically.
 //
 // atomicmix: flags struct fields accessed both through sync/atomic
 // package-level functions and by plain read/write — a data race that the
@@ -52,6 +80,10 @@
 // time and math/rand calls, goroutine launches, channel operations,
 // package-level state mutation, and map iteration that feeds output without
 // a subsequent sort.
+//
+// stale: warns (never errors) about directives the analyzers no longer
+// need — a wf:blocking function with nothing blocking in it, a loop-line
+// bound on a loop whose own condition already satisfies every check.
 package wfcheck
 
 import (
@@ -63,13 +95,20 @@ import (
 // Diagnostic is one finding, positioned for file:line:col reporting.
 type Diagnostic struct {
 	Pos      token.Position
-	Analyzer string // "annot", "blocking", "atomicmix" or "specpure"
+	Analyzer string // "annot", "blocking", "boundcert", "progress", "pubsafety", "atomicmix", "specpure" or "stale"
 	Message  string
+	// Warn marks advisory findings (stale directives) that are reported but
+	// do not fail the run.
+	Warn bool
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	sev := ""
+	if d.Warn {
+		sev = "warning: "
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, sev, d.Message)
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, then message.
@@ -93,19 +132,92 @@ func SortDiagnostics(ds []Diagnostic) {
 type Config struct {
 	// All treats every unannotated function as if it carried wf:waitfree:
 	// audit mode, measuring how far the tree is from a blanket wait-freedom
-	// claim. Functions annotated wf:blocking or wf:bounded keep their
-	// opt-outs.
+	// claim. Functions annotated wf:blocking, wf:bounded or wf:lockfree keep
+	// their opt-outs. Stale-directive warnings are only produced in this
+	// mode.
 	All bool
+
+	// IntraPackage restores PR 2's per-package analysis: calls that leave
+	// the package are trusted unresolved boundaries. Kept to measure what
+	// whole-program resolution adds; the cross-package fixture test proves
+	// the difference.
+	IntraPackage bool
 }
 
-// Run executes every analyzer on one loaded package and returns the sorted
-// findings (annotation errors included).
+// Result is one analysis run's output: the findings plus the bounds report
+// covering every wf:bounded and loop-line wf:lockfree directive seen.
+type Result struct {
+	Diags  []Diagnostic
+	Bounds []BoundRecord
+}
+
+// Errors reports whether any non-warning diagnostic is present (the
+// exit-code question).
+func (r *Result) Errors() bool {
+	for _, d := range r.Diags {
+		if !d.Warn {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer on one loaded package in isolation — the
+// degenerate whole-program case. Kept for single-package callers and tests.
 func (c Config) Run(p *Package) []Diagnostic {
-	var ds []Diagnostic
-	ds = append(ds, p.Annots.Errors...)
-	ds = append(ds, analyzeBlocking(p, c.All)...)
-	ds = append(ds, analyzeAtomicMix(p)...)
-	ds = append(ds, analyzeSpecPurity(p)...)
-	SortDiagnostics(ds)
-	return ds
+	c.IntraPackage = true
+	return c.RunProgram(SinglePackage(p), []*Package{p}).Diags
+}
+
+// RunProgram executes every analyzer over the program, reporting findings
+// for the target packages (the ones the user named; the rest of the module
+// participates in call resolution only). Diagnostics come back sorted.
+func (c Config) RunProgram(prog *Program, targets []*Package) *Result {
+	if c.IntraPackage {
+		// Rebuild the resolution index per target package so calls stop at
+		// package boundaries, whatever loader the packages came from.
+		res := &Result{}
+		for _, p := range targets {
+			sub := c.runOne(SinglePackage(p), p)
+			res.Diags = append(res.Diags, sub.Diags...)
+			res.Bounds = append(res.Bounds, sub.Bounds...)
+		}
+		SortDiagnostics(res.Diags)
+		return res
+	}
+	res := &Result{}
+	res.Diags = append(res.Diags, analyzeBlocking(prog, targets, c.All)...)
+	for _, p := range targets {
+		res.Diags = append(res.Diags, p.Annots.Errors...)
+		bounds, diags := analyzeBounds(p)
+		res.Bounds = append(res.Bounds, bounds...)
+		res.Diags = append(res.Diags, diags...)
+		res.Diags = append(res.Diags, analyzeProgress(p)...)
+		res.Diags = append(res.Diags, analyzePubSafety(p)...)
+		res.Diags = append(res.Diags, analyzeAtomicMix(p)...)
+		res.Diags = append(res.Diags, analyzeSpecPurity(p)...)
+	}
+	if c.All {
+		res.Diags = append(res.Diags, analyzeStale(prog, targets)...)
+	}
+	SortDiagnostics(res.Diags)
+	return res
+}
+
+// runOne is RunProgram's per-package body for the intra-package mode.
+func (c Config) runOne(prog *Program, p *Package) *Result {
+	res := &Result{}
+	res.Diags = append(res.Diags, p.Annots.Errors...)
+	res.Diags = append(res.Diags, analyzeBlocking(prog, []*Package{p}, c.All)...)
+	bounds, diags := analyzeBounds(p)
+	res.Bounds = append(res.Bounds, bounds...)
+	res.Diags = append(res.Diags, diags...)
+	res.Diags = append(res.Diags, analyzeProgress(p)...)
+	res.Diags = append(res.Diags, analyzePubSafety(p)...)
+	res.Diags = append(res.Diags, analyzeAtomicMix(p)...)
+	res.Diags = append(res.Diags, analyzeSpecPurity(p)...)
+	if c.All {
+		res.Diags = append(res.Diags, analyzeStale(prog, []*Package{p})...)
+	}
+	return res
 }

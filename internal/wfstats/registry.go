@@ -127,7 +127,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // registered metric. A kind mismatch on an existing name panics: it is a
 // programming error on the level of a duplicate type declaration.
 func (r *Registry) install(m *metric) *metric {
-	//wf:bounded copy-on-write CAS: a retry means another process published a registration; registrations are finitely many (one per metric name) and each retry re-resolves against the newer list
+	//wf:lockfree copy-on-write CAS: a retry means another process published a registration; registrations are finitely many but the retry count belongs to their schedule
 	for {
 		old := r.state.metrics.Load()
 		if old != nil {

@@ -137,7 +137,7 @@ func (g *Gauge) Load() int64 {
 
 // maxAtomic raises *a to v monotonically.
 func maxAtomic(a *atomic.Int64, v int64) {
-	//wf:bounded monotone-max CAS: a retry means another process raised the value, which happens at most once per distinct observed maximum
+	//wf:lockfree monotone-max CAS: a retry means another process raised the value; the observed maximum converges but the trip count is theirs, not ours
 	for {
 		cur := a.Load()
 		if v <= cur || a.CompareAndSwap(cur, v) {
