@@ -485,6 +485,154 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// --- PR5 contention layer: helping-based batching under b.RunParallel ---
+
+// benchParallelPids drives fn under b.RunParallel while preserving the
+// per-pid sequential contract: workers 1..n-1 each own their pid
+// exclusively, while worker 0 — and any workers beyond n, since RunParallel
+// spawns GOMAXPROCS goroutines — share pid 0 under a lock. The -cpu flag
+// therefore sets the real writer concurrency (up to n), which is what the
+// contended rows in BENCH_PR5.json sweep.
+func benchParallelPids(b *testing.B, n int, fn func(pid, i int)) {
+	var next int32
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		w := int(next)
+		next++
+		mu.Unlock()
+		p := w % n
+		i := w // stride-n op streams keep workers decorrelated
+		if p == 0 || w >= n {
+			for pb.Next() {
+				mu.Lock()
+				fn(0, i)
+				mu.Unlock()
+				i += n
+			}
+			return
+		}
+		for pb.Next() {
+			fn(p, i)
+			i += n
+		}
+	})
+}
+
+// BenchmarkUniversalContended is the batching acceptance benchmark: the pure
+// write path under real parallelism (run with -cpu 1,4,8), batched against
+// unbatched. At -cpu 1 the two must be within noise of each other (the
+// inflight probe keeps the help window off the uncontended path); at -cpu 8
+// on the kv spec batched must be >= 2x unbatched ops/sec — one executor
+// replay and one snapshot clone amortized across the batch.
+func BenchmarkUniversalContended(b *testing.B) {
+	const n = 8
+	const chunk = 200_000
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "batched", opts: []core.Option{core.WithBatching()}},
+		{name: "unbatched"},
+	}
+	// The kv rows write across 256 keys (the BenchmarkSnapshotInterval
+	// workload): a state whose per-op snapshot clone is the dominant cost is
+	// exactly what one-clone-per-batch amortizes. The counter rows are the
+	// cheap-state control.
+	contendedOp := func(object string, i int) seqspec.Op {
+		if object == "kv" {
+			return seqspec.Op{Kind: "put", Args: []int64{int64(i % 256), int64(i)}}
+		}
+		return benchOp(object, i)
+	}
+	objects := []seqspec.Object{seqspec.Counter{}, seqspec.KV{}}
+	for _, mode := range modes {
+		for _, obj := range objects {
+			b.Run(mode.name+"/"+obj.Name(), func(b *testing.B) {
+				// One registry shared across rotations aggregates the
+				// helping metrics over the whole run.
+				reg := wfstats.NewRegistry()
+				opts := append([]core.Option{core.WithMetrics(reg)}, mode.opts...)
+				type box struct{ u *core.Universal }
+				mkbox := func() *box {
+					return &box{u: core.NewUniversal(obj, core.NewSwapFAC(), n, opts...)}
+				}
+				var cur atomic.Pointer[box]
+				cur.Store(mkbox())
+				var total atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				benchParallelPids(b, n, func(p, i int) {
+					// Rotate the anchored log periodically so memory stays
+					// flat; stragglers finish on the old instance, which
+					// stays valid.
+					if total.Add(1)%chunk == 0 {
+						cur.Store(mkbox())
+					}
+					cur.Load().u.Invoke(p, contendedOp(obj.Name(), i))
+				})
+				b.StopTimer()
+				u := cur.Load().u
+				b.ReportMetric(float64(u.Helped())/float64(b.N), "helped/op")
+				if batches, mean, _ := u.BatchStats(); batches > 0 {
+					b.ReportMetric(mean, "batch-mean")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedContended: the sharded KV front end under b.RunParallel
+// (run with -cpu 1,4,8) on write-heavy and balanced read mixes, with the
+// facade's default batching against WithoutBatching. Sharding splits the
+// writers across logs; batching absorbs the contention that remains within
+// each shard.
+func BenchmarkShardedContended(b *testing.B) {
+	const n = 8
+	const keys = 1024
+	const chunk = 200_000
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "batched"},
+		{name: "unbatched", opts: []core.Option{core.WithoutBatching()}},
+	}
+	for _, mode := range modes {
+		for _, pct := range []int{0, 50} {
+			b.Run(fmt.Sprintf("kv/%s/reads=%d", mode.name, pct), func(b *testing.B) {
+				opts := append([]core.Option{core.WithBatching()}, mode.opts...)
+				mkkv := func() *shard.Sharded {
+					return shard.NewKV(4, n, func() core.FetchAndCons { return core.NewSwapFAC() }, opts...)
+				}
+				type box struct{ kv *shard.Sharded }
+				var cur atomic.Pointer[box]
+				cur.Store(&box{kv: mkkv()})
+				var total atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				benchParallelPids(b, n, func(p, i int) {
+					if total.Add(1)%chunk == 0 {
+						cur.Store(&box{kv: mkkv()})
+					}
+					h := uint64(i)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+					key := int64((h >> 33) % keys)
+					var op seqspec.Op
+					if int((h>>10)%100) < pct {
+						op = seqspec.Op{Kind: "get", Args: []int64{key}}
+					} else {
+						op = seqspec.Op{Kind: "put", Args: []int64{key, int64(h % 1024)}}
+					}
+					cur.Load().kv.Invoke(p, op)
+				})
+				b.StopTimer()
+				kv := cur.Load().kv
+				b.ReportMetric(float64(kv.Helped())/float64(b.N), "helped/op")
+			})
+		}
+	}
+}
+
 // --- PR3 observability: wfstats record cost and end-to-end overhead ---
 
 // BenchmarkWfstatsRecord measures the raw record paths of the metrics layer:

@@ -5,11 +5,21 @@
 // It shells out to `go test -bench` on the root package, parses the
 // standard benchmark output — including custom metrics like fast-reads/op
 // and replay-mean — and writes one JSON document with environment metadata.
+// Each benchmark records the GOMAXPROCS it ran under (the -N name suffix),
+// so one file can hold the same benchmark at several -cpu values.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson                       # default suite -> BENCH_PR1.json
 //	go run ./cmd/benchjson -bench 'ReadMix' -benchtime 500ms -out /tmp/out.json
+//	go run ./cmd/benchjson -bench 'Contended' -cpu 1,4,8 -append -out BENCH_PR5.json
+//	go run ./cmd/benchjson -diff BENCH_PR3.json BENCH_PR5.json
+//
+// The -diff mode compares two recorded files instead of running anything:
+// benchmarks present in both (matched by name and procs) are compared on
+// ns/op and allocs/op, and any ratio above -threshold is reported as a
+// regression with exit status 1. Benchmarks that exist on only one side are
+// listed but never fail the diff — suites grow across PRs by design.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -26,10 +37,12 @@ import (
 	"flag"
 )
 
-// result is one benchmark line: name, iteration count, and every reported
-// metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units).
+// result is one benchmark line: name, the GOMAXPROCS it ran under,
+// iteration count, and every reported metric (ns/op, B/op, allocs/op, and
+// custom b.ReportMetric units).
 type result struct {
 	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -45,18 +58,39 @@ type report struct {
 }
 
 // benchLine matches `BenchmarkName-8   12345   67.8 ns/op   9 B/op ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+// The -8 suffix is the GOMAXPROCS of the run (go test omits it at 1).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	var (
 		bench     = flag.String("bench", "ReadMix|SnapshotInterval|ShardScaling|Universal/|Wfstats", "benchmark regexp to run")
 		benchtime = flag.String("benchtime", "300ms", "per-benchmark measurement time")
+		cpu       = flag.String("cpu", "", "comma-separated GOMAXPROCS values passed to go test -cpu")
+		count     = flag.Int("count", 1, "go test -count: repetitions per benchmark")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "BENCH_PR1.json", "output JSON path")
+		appendTo  = flag.Bool("append", false, "merge results into an existing -out file instead of overwriting")
+		diff      = flag.Bool("diff", false, "compare two recorded files: benchjson -diff old.json new.json")
+		threshold = flag.Float64("threshold", 1.25, "-diff: flag ns/op or allocs/op ratios above this as regressions")
 	)
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
+	}
+	if *count > 1 {
+		args = append(args, "-count", strconv.Itoa(*count))
+	}
+	args = append(args, *pkg)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -78,9 +112,13 @@ func main() {
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		r := result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
-		fields := strings.Fields(m[3])
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		r := result{Name: m[1], Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -95,6 +133,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *appendTo {
+		if prev, err := loadReport(*out); err == nil {
+			rep = merge(prev, rep)
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -106,4 +150,117 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func loadReport(path string) (report, error) {
+	var rep report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	// Files written before the procs field carry it as 0; those suites all
+	// ran at the report's recorded GOMAXPROCS.
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Procs == 0 {
+			rep.Benchmarks[i].Procs = rep.MaxProcs
+		}
+	}
+	return rep, nil
+}
+
+// key identifies a benchmark row across files: the same name at a different
+// -cpu is a different measurement, not a replacement.
+func key(r result) string { return fmt.Sprintf("%s-%d", r.Name, r.Procs) }
+
+// merge folds the fresh run into a previous report: re-run rows replace
+// their old measurement (latest wins, including duplicates within the fresh
+// run itself from -count>1 — the final repetition is kept), new rows append,
+// and the environment metadata is taken from the fresh run.
+func merge(prev, fresh report) report {
+	seen := make(map[string]int)
+	merged := fresh
+	merged.Benchmarks = nil
+	for _, r := range append(prev.Benchmarks, fresh.Benchmarks...) {
+		if i, ok := seen[key(r)]; ok {
+			merged.Benchmarks[i] = r
+			continue
+		}
+		seen[key(r)] = len(merged.Benchmarks)
+		merged.Benchmarks = append(merged.Benchmarks, r)
+	}
+	merged.Command = fresh.Command + " (appended)"
+	return merged
+}
+
+// diffMetrics are the regression-gated metrics; everything else (custom
+// b.ReportMetric units, B/op) is informational.
+var diffMetrics = []string{"ns/op", "allocs/op"}
+
+// runDiff compares two recorded reports and returns the process exit code:
+// 0 when every shared benchmark is within threshold on the gated metrics,
+// 1 when any regressed.
+func runDiff(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := make(map[string]result, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[key(r)] = r
+	}
+
+	var regressions, onlyNew []string
+	shared := 0
+	for _, n := range newRep.Benchmarks {
+		o, ok := oldBy[key(n)]
+		if !ok {
+			onlyNew = append(onlyNew, key(n))
+			continue
+		}
+		delete(oldBy, key(n))
+		shared++
+		for _, metric := range diffMetrics {
+			ov, nv := o.Metrics[metric], n.Metrics[metric]
+			if ov <= 0 {
+				continue
+			}
+			ratio := nv / ov
+			status := "ok"
+			if ratio > threshold {
+				status = "REGRESSION"
+				regressions = append(regressions, key(n))
+			}
+			fmt.Printf("%-60s %-10s %12.4g -> %-12.4g %6.2fx  %s\n",
+				key(n), metric, ov, nv, ratio, status)
+		}
+	}
+	var onlyOld []string
+	for k := range oldBy {
+		onlyOld = append(onlyOld, k)
+	}
+	sort.Strings(onlyNew)
+	sort.Strings(onlyOld)
+	for _, k := range onlyNew {
+		fmt.Printf("%-60s only in %s\n", k, newPath)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("%-60s only in %s\n", k, oldPath)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) above %.2fx: %s\n",
+			len(regressions), threshold, strings.Join(regressions, ", "))
+		return 1
+	}
+	fmt.Printf("benchjson: %d shared benchmarks within %.2fx\n", shared, threshold)
+	return 0
 }

@@ -43,6 +43,13 @@ type ConsFAC struct {
 	// any). Only process p accesses entry p.
 	lastWinner []int
 
+	// scratch[p] holds p's reusable goal and merge buffers. Processes call
+	// FetchAndCons sequentially, so slot p has a single writer; reusing the
+	// buffers removes the three per-call allocations (goal, found, resolved)
+	// from the write hot path. Nothing built in them outlives the call:
+	// merge copies goal entries into fresh list nodes.
+	scratch []facScratch
+
 	// decisions counts consensus rounds joined, for the Corollary 27
 	// experiments (at most n+1 per operation).
 	decisions atomic.Int64
@@ -52,6 +59,15 @@ type ConsFAC struct {
 	opsCount   *wfstats.Counter
 	roundsHist *wfstats.Histogram
 	wins       *wfstats.Counter
+}
+
+// facScratch is one process's reusable FetchAndCons buffers: the goal slice
+// (at most one announced entry per process, so capacity n never grows) and
+// the merge membership marks.
+type facScratch struct {
+	goal     []*Entry
+	found    []bool
+	resolved []bool
 }
 
 // NewConsFAC builds a fetch-and-cons for n processes from a factory of
@@ -65,6 +81,14 @@ func NewConsFAC(n int, factory consensus.Factory) *ConsFAC {
 		decided:    make([]atomic.Pointer[Node], n),
 		rounds:     newRoundArray(factory),
 		lastWinner: make([]int, n),
+		scratch:    make([]facScratch, n),
+	}
+	for p := range f.scratch {
+		f.scratch[p] = facScratch{
+			goal:     make([]*Entry, 0, n),
+			found:    make([]bool, n),
+			resolved: make([]bool, n),
+		}
 	}
 	for p := range f.lastWinner {
 		f.lastWinner[p] = -1
@@ -99,7 +123,8 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	// Build the goal: everyone's latest announced entry (at most one per
 	// process, since processes are sequential), and find the highest round
 	// anyone has executed.
-	goal := make([]*Entry, 0, f.n)
+	sc := &f.scratch[pid]
+	goal := sc.goal[:0]
 	lastRound := int64(0)
 	for p := 0; p < f.n; p++ {
 		if a := f.announce[p].Load(); a != nil {
@@ -122,7 +147,7 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	defer func() { f.lastWinner[pid] = winner }()
 	for r := lastRound + 1; r <= lastRound+int64(f.n); r++ {
 		base := f.preferOf(winner)
-		f.prefer[pid].Store(merge(goal, base))
+		f.prefer[pid].Store(mergeWith(goal, base, sc.found, sc.resolved))
 		joined++
 		w := f.decide(r, pid)
 		winner = w
@@ -201,12 +226,24 @@ func (f *ConsFAC) RoundsPerOp() float64 {
 // walk passes an entry of the same process with a smaller sequence number,
 // the probe entry cannot appear deeper.
 func merge(goal []*Entry, base *Node) *Node {
+	return mergeWith(goal, base, make([]bool, len(goal)), make([]bool, len(goal)))
+}
+
+// mergeWith is merge with caller-owned membership buffers (len ≥ len(goal)),
+// so the hot path reuses per-pid scratch instead of allocating two slices
+// per consensus round. Node churn audit: the only allocations left are the
+// Cons cells for goal entries genuinely absent from base — each becomes part
+// of the proposed (and possibly decided) list, so none is avoidable.
+func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
 	if len(goal) == 0 {
 		return base
 	}
 	unresolved := len(goal)
-	found := make([]bool, len(goal))
-	resolved := make([]bool, len(goal))
+	found = found[:len(goal)]
+	resolved = resolved[:len(goal)]
+	for i := range found {
+		found[i], resolved[i] = false, false
+	}
 	for n := base; n != nil && unresolved > 0; n = n.Rest {
 		cur := n.Entry
 		for i, g := range goal {

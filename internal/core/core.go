@@ -39,6 +39,35 @@ type Entry struct {
 	// a replayer that reaches this entry applies Op to a clone of snapshot
 	// instead of replaying further history.
 	snapshot atomic.Pointer[snapBox]
+
+	// resp and respDone are the entry's result slot, the helping protocol's
+	// other half: the entry announces the operation, the slot carries its
+	// response back. Any process that replays a decided list through this
+	// entry may publish the response it computed (Publish); the invoker, if
+	// it finds the slot full after its cons (Result), returns without
+	// replaying or cloning at all. Publication is two atomic stores — resp
+	// then the respDone flag — so a reader that observes the flag observes
+	// the response; double publication is harmless because the decided order
+	// below this entry is fixed (Lemma 24) and Apply is deterministic, so
+	// every publisher computes the same value.
+	resp     atomic.Int64
+	respDone atomic.Bool
+}
+
+// Publish stores the entry's response into its result slot. Idempotent:
+// concurrent publishers replay the same decided prefix and therefore store
+// the same value.
+func (e *Entry) Publish(v int64) {
+	e.resp.Store(v)
+	e.respDone.Store(true)
+}
+
+// Result returns the published response, if any.
+func (e *Entry) Result() (int64, bool) {
+	if !e.respDone.Load() {
+		return 0, false
+	}
+	return e.resp.Load(), true
 }
 
 type snapBox struct{ state seqspec.State }

@@ -31,7 +31,21 @@ type Universal struct {
 	truncate  bool
 	snapEvery int64
 	fastRead  bool
+	batch     bool
 	seqs      []atomic.Int64
+
+	// contended is the batched path's gather hint: set while batching is
+	// observably paying off (the last executor pass helped someone, or this
+	// process was itself helped), cleared by a solo pass. While set, a
+	// writer that finds itself at the head yields once before executing so
+	// already-runnable writers can announce behind it and be settled by one
+	// pass (see helping.go).
+	contended atomic.Bool
+
+	// scratch holds per-pid replay buffers. Each pid invokes sequentially
+	// (the front-end contract), so slot pid has a single writer and replays
+	// reuse one pending buffer instead of growing a fresh slice per call.
+	scratch []replayScratch
 
 	// lastRead caches the state reconstructed by the most recent fast read,
 	// keyed by the observed list head. Consecutive reads with no intervening
@@ -70,6 +84,23 @@ type universalStats struct {
 	// replay, the Section 4.1 strong-wait-freedom quantity (bounded by n
 	// with snapshots, by the object's age without).
 	replayLen *wfstats.Histogram
+	// helped counts batched write operations that returned a response
+	// published by a concurrent executor — no replay, no clone, no apply.
+	helped *wfstats.Counter
+	// snapSaved counts snapshot stores the helped path skipped: operations
+	// that would have cloned and published a snapshot on the unbatched path
+	// but were covered by their batch executor's single store instead.
+	snapSaved *wfstats.Counter
+	// batchLen is the batch-size histogram: responses each executor pass
+	// settled (its own plus every helped entry it published), the paper's
+	// one-operation-per-wave quantity from the combining-network discussion.
+	batchLen *wfstats.Histogram
+}
+
+// replayScratch is one pid's reusable replay buffer (single writer: the
+// pid's own front end).
+type replayScratch struct {
+	pending []*Entry
 }
 
 // readSnap pairs an observed decided list with the state it replays to.
@@ -108,6 +139,27 @@ func WithoutFastReads() Option {
 	return func(u *Universal) { u.fastRead = false }
 }
 
+// WithBatching enables helping-based batch execution on the write path (see
+// helping.go): a writer whose entry is still the newest announced executes
+// at once — replaying once and publishing the response of every
+// decided-but-unexecuted entry it applies, with one snapshot for the whole
+// pass — while a writer that finds newer entries consed above its own waits
+// a bounded window to be settled by a pass from up there. Under contention
+// one replay and one clone serve a whole batch of writers — the
+// combining-network shape of the paper's Sections 1 and 5 — while an
+// uncontended writer pays only one empty result-slot check and one Observe
+// load before executing as usual.
+func WithBatching() Option {
+	return func(u *Universal) { u.batch = true }
+}
+
+// WithoutBatching disables helping-based batch execution (the default for
+// NewUniversal; front ends that enable batching by default, like the
+// sharded KV facade, use this to switch it back off).
+func WithoutBatching() Option {
+	return func(u *Universal) { u.batch = false }
+}
+
 // WithMetrics records the construction's metrics (universal.* — cons ops,
 // snapshot stores, fast-read hits/misses, the replay-length histogram) into
 // reg instead of a private registry. Several instances sharing one registry
@@ -123,7 +175,7 @@ func WithMetrics(reg *wfstats.Registry) Option {
 // Truncation is enabled by default.
 func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *Universal {
 	u := &Universal{seq: seq, fac: fac, truncate: true, snapEvery: 1, fastRead: true,
-		seqs: make([]atomic.Int64, n)}
+		seqs: make([]atomic.Int64, n), scratch: make([]replayScratch, n)}
 	for _, o := range opts {
 		o(u)
 	}
@@ -136,6 +188,9 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 		fastHits:   u.metrics.StripedCounter("universal.fast_read_hit", n),
 		fastMisses: u.metrics.StripedCounter("universal.fast_read_miss", n),
 		replayLen:  u.metrics.Histogram("universal.replay_len"),
+		helped:     u.metrics.Counter("universal.helped"),
+		snapSaved:  u.metrics.Counter("universal.snapshot_saved"),
+		batchLen:   u.metrics.Histogram("universal.batch_len"),
 	}
 	return u
 }
@@ -160,8 +215,11 @@ func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
 	}
 	e := &Entry{Pid: pid, Seq: u.seqs[pid].Add(1), Op: op}
 	u.stats.consOps.Inc()
+	if u.batch {
+		return u.invokeBatched(pid, e)
+	}
 	prior := u.fac.FetchAndCons(pid, e)
-	pre := u.replay(prior)
+	pre := u.replay(pid, prior)
 	if u.truncate && e.Seq%u.snapEvery == 0 {
 		u.stats.snapStores.Inc()
 		e.snapshot.Store(&snapBox{state: pre.Clone()})
@@ -177,16 +235,30 @@ func (u *Universal) readFast(pid int, op seqspec.Op) int64 {
 		return c.state.Apply(op) // frozen state; ReadOnly Apply never mutates (contract-tested in seqspec)
 	}
 	u.stats.fastMisses.Inc(pid)
-	state := u.replay(head)
+	state := u.replay(pid, head)
 	u.lastRead.Store(&readSnap{head: head, state: state})
 	return state.Apply(op)
 }
 
 // replay reconstructs the object state after all entries of list (newest
 // first), stopping early at snapshots when present.
-func (u *Universal) replay(list *Node) seqspec.State {
-	var pending []*Entry
+func (u *Universal) replay(pid int, list *Node) seqspec.State {
+	state, _ := u.replayPublish(pid, list, false)
+	return state
+}
+
+// replayPublish is replay plus the helping write of the batched path: with
+// help set it publishes the response of every entry it applies whose result
+// slot is still empty, and reports how many slots it filled. Publication is
+// sound because list is decided — every replayer reconstructs the same
+// state below each entry (Lemma 24's coherence plus snapshot correctness),
+// and Apply is deterministic (the seqspec response-publication contract),
+// so concurrent publishers store identical values.
+func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State, int) {
+	sc := &u.scratch[pid]
+	pending := sc.pending[:0]
 	var state seqspec.State
+	published := 0
 	//wf:bounded walks to the first snapshotted entry: at most snapEvery un-snapshotted entries per live process (Section 4.1's strong wait-freedom bound), or the whole finite list without truncation
 	for n := list; ; n = n.Rest {
 		if n == nil {
@@ -196,17 +268,34 @@ func (u *Universal) replay(list *Node) seqspec.State {
 		if s := n.Entry.snapshot.Load(); s != nil {
 			// s.state is the state before n.Entry's op; apply it first.
 			state = s.state.Clone()
-			state.Apply(n.Entry.Op)
+			resp := state.Apply(n.Entry.Op)
+			if help {
+				published += publishIfEmpty(n.Entry, resp)
+			}
 			break
 		}
 		pending = append(pending, n.Entry)
 	}
 	for i := len(pending) - 1; i >= 0; i-- {
-		state.Apply(pending[i].Op)
+		resp := state.Apply(pending[i].Op)
+		if help {
+			published += publishIfEmpty(pending[i], resp)
+		}
 	}
 
+	sc.pending = pending
 	u.stats.replayLen.Observe(int64(len(pending)))
-	return state
+	return state, published
+}
+
+// publishIfEmpty fills e's result slot if no one has, reporting 1 when this
+// call published.
+func publishIfEmpty(e *Entry, resp int64) int {
+	if _, ok := e.Result(); ok {
+		return 0
+	}
+	e.Publish(resp)
+	return 1
 }
 
 // Handle returns pid's front end (Figure 4-1): a single thread of control
@@ -245,4 +334,19 @@ func (u *Universal) ReplayStats() (ops int64, mean float64, max int64) {
 // reads count here but not in ReplayStats (they replay nothing).
 func (u *Universal) FastReads() int64 {
 	return u.stats.fastHits.Load() + u.stats.fastMisses.Load()
+}
+
+// Helped reports how many batched write operations returned a response
+// published by a concurrent executor (universal.helped): no replay, no
+// snapshot clone, no apply of their own. Zero when batching is off or in
+// the WithMetrics(nil) no-op mode.
+func (u *Universal) Helped() int64 { return u.stats.helped.Load() }
+
+// BatchStats reports (executor passes, mean batch size, max batch size)
+// from the universal.batch_len histogram: how many responses each batched
+// replay pass settled. Mean 1 means no combining happened; the paper's
+// combining-network ideal is one pass per wave of concurrent writers.
+func (u *Universal) BatchStats() (batches int64, mean float64, max int64) {
+	h := u.stats.batchLen
+	return h.Count(), h.Mean(), h.Max()
 }

@@ -1,6 +1,10 @@
 package seqspec
 
-import "testing"
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
 
 // specContract drives the cross-spec ReadOnly contract test: setup ops
 // build a non-trivial state, probes are operations the spec classifies as
@@ -83,6 +87,97 @@ func TestReadOnlyContract(t *testing.T) {
 				if c.obj.ReadOnly(op) {
 					t.Errorf("mutating op %v classified ReadOnly", op)
 				}
+			}
+		})
+	}
+}
+
+// opGens draws pseudo-random operations per spec, covering every op kind
+// including the mutating ones, for the determinism contract test.
+var opGens = map[string]func(r uint64) Op{
+	"register": pick("read;write 1"),
+	"counter":  pick("get;inc;add 1"),
+	"queue":    pick("enq 1;deq;peek;len"),
+	"stack":    pick("push 1;pop;len"),
+	"set":      pick("insert 1;contains 1;removeMin;len"),
+	"pqueue":   pick("insert 1;deleteMin;min;len"),
+	"list":     pick("cons 1;head;nth 1;len"),
+	"kv":       pick("put 2;get 1;del 1;len"),
+	"bank":     pick("deposit 2;withdraw 2;transfer 3;balance 1;total"),
+}
+
+// pick parses "kind argc;kind argc;..." into a generator that chooses a
+// kind and fills its arguments from the random word.
+func pick(table string) func(r uint64) Op {
+	type shape struct {
+		kind string
+		argc int
+	}
+	var shapes []shape
+	for _, f := range strings.Split(table, ";") {
+		parts := strings.Fields(f)
+		s := shape{kind: parts[0]}
+		if len(parts) > 1 {
+			s.argc, _ = strconv.Atoi(parts[1])
+		}
+		shapes = append(shapes, s)
+	}
+	return func(r uint64) Op {
+		s := shapes[r%uint64(len(shapes))]
+		op := Op{Kind: s.kind}
+		for i := 0; i < s.argc; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			op.Args = append(op.Args, int64((r>>33)%16))
+		}
+		return op
+	}
+}
+
+// TestApplyDeterminismContract is the response-publication contract of the
+// universal construction's helping protocol: two replicas that apply the
+// same operation sequence from the same initial state must produce
+// bit-identical responses and states, so one process may publish another's
+// response. Checked on independent Init replicas and on a mid-sequence
+// Clone for every spec.
+func TestApplyDeterminismContract(t *testing.T) {
+	if len(opGens) != len(contracts) {
+		t.Fatalf("opGens covers %d specs, contract table %d", len(opGens), len(contracts))
+	}
+	for _, c := range contracts {
+		c := c
+		t.Run(c.obj.Name(), func(t *testing.T) {
+			gen := opGens[c.obj.Name()]
+			if gen == nil {
+				t.Fatalf("no op generator for %s", c.obj.Name())
+			}
+			const nops = 200
+			ops := make([]Op, nops)
+			r := uint64(0x9e3779b97f4a7c15)
+			for i := range ops {
+				r = r*6364136223846793005 + 1442695040888963407
+				ops[i] = gen(r >> 30)
+			}
+			a, b := c.obj.Init(), c.obj.Init()
+			ra := ApplyAll(a, ops[:nops/2])
+			rb := ApplyAll(b, ops[:nops/2])
+			// A clone taken mid-sequence is a third replica: the snapshot
+			// path of the batched executor.
+			cl := a.Clone()
+			ra = append(ra, ApplyAll(a, ops[nops/2:])...)
+			rb = append(rb, ApplyAll(b, ops[nops/2:])...)
+			rc := ApplyAll(cl, ops[nops/2:])
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("op %d %v: replica responses diverge: %d vs %d", i, ops[i], ra[i], rb[i])
+				}
+			}
+			for i, v := range rc {
+				if v != ra[nops/2+i] {
+					t.Fatalf("op %d %v: clone response diverges: %d vs %d", nops/2+i, ops[nops/2+i], v, ra[nops/2+i])
+				}
+			}
+			if a.Key() != b.Key() || a.Key() != cl.Key() {
+				t.Fatalf("final states diverge: %q / %q / %q", a.Key(), b.Key(), cl.Key())
 			}
 		})
 	}

@@ -69,12 +69,33 @@ type Object interface {
 // State is a mutable sequential-object state.
 type State interface {
 	// Apply executes op, mutating the state and returning the response.
-	// It must be deterministic and total.
+	//
+	// Response-publication contract: Apply must be deterministic and total —
+	// a pure function of the state *value* and the op, never of the replica
+	// identity, iteration order of an unordered container, randomness, or
+	// time. The universal construction's helping protocol depends on this:
+	// any process that replays a decided log prefix may publish the response
+	// it computed into another operation's result slot, and the operation's
+	// invoker returns that value as its own. Two replicas replaying the same
+	// prefix must therefore compute bit-identical responses and states (the
+	// cross-spec determinism test in contract_test.go enforces both).
 	Apply(op Op) int64
 	// Clone returns an independent deep copy.
 	Clone() State
 	// Key returns a canonical encoding for memoization and equality.
 	Key() string
+}
+
+// ApplyAll applies ops to s in order and returns each op's response: the
+// batch-execution step of the universal construction's helping protocol,
+// where one executor settles a whole decided batch against a single
+// reconstructed state. The slice of responses is indexed like ops.
+func ApplyAll(s State, ops []Op) []int64 {
+	out := make([]int64, len(ops))
+	for i, op := range ops {
+		out[i] = s.Apply(op)
+	}
+	return out
 }
 
 // --- Register ---

@@ -17,6 +17,12 @@
 // shard at a different instant and return a sum that no single moment may
 // have exhibited.
 //
+// Sharding and batching compose: sharding splits contention across logs,
+// and helping-based batching (core.WithBatching, default-on for the
+// waitfree.NewShardedKV facade) absorbs whatever contention remains within
+// each shard — concurrent writers that hash to one shard are served by a
+// single executor's replay pass instead of replaying one by one.
+//
 //wf:waitfree
 package shard
 
@@ -158,6 +164,35 @@ func (s *Sharded) FastReads() int64 {
 		total += u.FastReads()
 	}
 	return total
+}
+
+// Helped sums the helped-write counters across shards: batched write
+// operations that returned a response published by a concurrent executor
+// (see core.WithBatching). Zero when batching is off.
+func (s *Sharded) Helped() int64 {
+	var total int64
+	for _, u := range s.shards {
+		total += u.Helped()
+	}
+	return total
+}
+
+// BatchStats aggregates batch-execution statistics across shards: total
+// executor passes, weighted mean batch size, and the largest per-shard max.
+func (s *Sharded) BatchStats() (batches int64, mean float64, max int64) {
+	var settled float64
+	for _, u := range s.shards {
+		b, m, mx := u.BatchStats()
+		batches += b
+		settled += m * float64(b)
+		if mx > max {
+			max = mx
+		}
+	}
+	if batches > 0 {
+		mean = settled / float64(batches)
+	}
+	return batches, mean, max
 }
 
 // ReplayStats aggregates replay statistics across shards: total replays,

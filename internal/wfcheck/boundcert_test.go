@@ -77,3 +77,63 @@ func TestTreeBoundsReport(t *testing.T) {
 		t.Errorf("internal/protocols has %d verified bounds, want the 4 assignment-scan loops", verified)
 	}
 }
+
+// TestCoreBoundsReport pins the batching PR's headline on internal/core: the
+// help-wait window in awaitHelp is a counted loop the certifier proves
+// outright (a stalled executor delays a helped writer by at most the window),
+// the replay walk stays trusted on its Section 4.1 argument, and nothing in
+// the package is contradicted.
+func TestCoreBoundsReport(t *testing.T) {
+	_, p := loadFixture(t, "../../../core")
+	records, diags := analyzeBounds(p)
+	if len(diags) != 0 {
+		t.Fatalf("internal/core has boundcert diagnostics: %v", diags)
+	}
+	byScope := make(map[string]BoundStatus)
+	for _, r := range records {
+		if r.Status == BoundContradicted {
+			t.Errorf("contradicted bound at %s:%d: %s", r.Pos.Filename, r.Pos.Line, r.Detail)
+		}
+		byScope[r.Scope] = r.Status
+	}
+	if got := byScope["loop in awaitHelp"]; got != BoundVerified {
+		t.Errorf("awaitHelp help-wait window certified %q, want %q (counted loop)", got, BoundVerified)
+	}
+	if got := byScope["loop in replayPublish"]; got != BoundTrusted {
+		t.Errorf("replayPublish walk certified %q, want %q (snapshot-bound argument)", got, BoundTrusted)
+	}
+}
+
+// TestTreeBoundsTotals pins the tree-wide certification totals that
+// `wfvet -all -bounds ./...` reports — the repo's bound-certification
+// budget. A new directive moves a number here on purpose; a contradiction
+// anywhere fails outright.
+func TestTreeBoundsTotals(t *testing.T) {
+	pkgs := []string{
+		"../../../check", "../../../combine", "../../../core",
+		"../../../protocols", "../../../queue", "../../../registers",
+		"../../../wfcheck", "../../../wfstats",
+	}
+	counts := make(map[BoundStatus]int)
+	for _, rel := range pkgs {
+		_, p := loadFixture(t, rel)
+		records, diags := analyzeBounds(p)
+		if len(diags) != 0 {
+			t.Errorf("%s has boundcert diagnostics: %v", rel, diags)
+		}
+		for _, r := range records {
+			counts[r.Status]++
+			if r.Status == BoundContradicted {
+				t.Errorf("contradicted bound at %s:%d: %s", r.Pos.Filename, r.Pos.Line, r.Detail)
+			}
+		}
+	}
+	want := map[BoundStatus]int{
+		BoundVerified: 5, BoundTrusted: 10, BoundLockFree: 4, BoundContradicted: 0,
+	}
+	for status, n := range want {
+		if counts[status] != n {
+			t.Errorf("tree-wide %s bounds = %d, want %d", status, counts[status], n)
+		}
+	}
+}

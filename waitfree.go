@@ -153,6 +153,18 @@ func WithSnapshotInterval(k int) Option { return core.WithSnapshotInterval(k) }
 // (cons + snapshot); useful for measuring the read fast path against it.
 func WithoutFastReads() Option { return core.WithoutFastReads() }
 
+// WithBatching enables helping-based batch execution on the write path:
+// concurrent writers' announced operations are settled by a single
+// executor's replay pass — one replay, one snapshot clone, every batch
+// member's response published into its entry's result slot — while helped
+// writers return without replaying or cloning. Off by default for New;
+// NewShardedKV turns it on (pass WithoutBatching to disable there).
+func WithBatching() Option { return core.WithBatching() }
+
+// WithoutBatching disables helping-based batch execution; mainly useful to
+// switch off NewShardedKV's default.
+func WithoutBatching() Option { return core.WithoutBatching() }
+
 // Metrics is a wait-free metrics registry (internal/wfstats): counters,
 // gauges and power-of-two histograms recorded with single atomic operations
 // — no locks, no allocation on the record path — and exported with
@@ -188,7 +200,11 @@ type Sharded = shard.Sharded
 // NewShardedKV builds a key-value map hashed across shards independent
 // universal objects, each with its own fetch-and-cons from mk and serving
 // procs processes. For read-dominated, key-partitionable workloads this
-// scales throughput near-linearly in the shard count.
+// scales throughput near-linearly in the shard count. Helping-based write
+// batching (WithBatching) is on by default — writers that contend on one
+// shard are served by a single replay pass — and can be disabled by passing
+// WithoutBatching.
 func NewShardedKV(shards, procs int, mk func() FetchAndCons, opts ...Option) *Sharded {
-	return shard.NewKV(shards, procs, mk, opts...)
+	withDefaults := append([]Option{WithBatching()}, opts...)
+	return shard.NewKV(shards, procs, mk, withDefaults...)
 }

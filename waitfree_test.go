@@ -195,6 +195,48 @@ func TestFastReadsFacade(t *testing.T) {
 	}
 }
 
+// TestBatchingDefaults pins the option's default surface: off for New, on
+// for NewShardedKV, and WithoutBatching switches the sharded default back
+// off. Executor passes (BatchStats) are the observable: every batched write
+// that is not helped is one pass, so a batched object records passes even
+// single-threaded, and an unbatched one records none.
+func TestBatchingDefaults(t *testing.T) {
+	put := func(k, v int64) waitfree.Op {
+		return waitfree.Op{Kind: "put", Args: []int64{k, v}}
+	}
+
+	plain := waitfree.New(waitfree.KV{}, waitfree.NewSwapFetchAndCons(), 1)
+	batched := waitfree.New(waitfree.KV{}, waitfree.NewSwapFetchAndCons(), 1,
+		waitfree.WithBatching())
+	for k := int64(0); k < 10; k++ {
+		plain.Invoke(0, put(k, k))
+		batched.Invoke(0, put(k, k))
+	}
+	if b, _, _ := plain.BatchStats(); b != 0 {
+		t.Errorf("New default: %d executor passes, want 0 (batching off)", b)
+	}
+	if b, _, _ := batched.BatchStats(); b != 10 {
+		t.Errorf("WithBatching: %d executor passes, want 10", b)
+	}
+
+	sharded := waitfree.NewShardedKV(4, 2, waitfree.NewSwapFetchAndCons)
+	off := waitfree.NewShardedKV(4, 2, waitfree.NewSwapFetchAndCons,
+		waitfree.WithoutBatching())
+	for k := int64(0); k < 10; k++ {
+		sharded.Invoke(0, put(k, k))
+		off.Invoke(0, put(k, k))
+	}
+	if b, _, _ := sharded.BatchStats(); b != 10 {
+		t.Errorf("NewShardedKV default: %d executor passes, want 10 (batching on)", b)
+	}
+	if b, _, _ := off.BatchStats(); b != 0 {
+		t.Errorf("NewShardedKV WithoutBatching: %d executor passes, want 0", b)
+	}
+	if h := sharded.Helped(); h != 0 {
+		t.Errorf("sequential sharded run counted %d helped ops", h)
+	}
+}
+
 func ExampleNewShardedKV() {
 	const shards, procs = 4, 2
 	kv := waitfree.NewShardedKV(shards, procs, waitfree.NewSwapFetchAndCons)
