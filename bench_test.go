@@ -7,6 +7,7 @@ package waitfree_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -534,6 +535,10 @@ func BenchmarkUniversalContended(b *testing.B) {
 	}{
 		{name: "batched", opts: []core.Option{core.WithBatching()}},
 		{name: "unbatched"},
+		// The log-GC row prices the low-water-mark protocol on the contended
+		// write path: one padded register store per op, a min-scan plus
+		// truncation walk every DefaultGCEvery-th op (or once per batch).
+		{name: "batched-gc", opts: []core.Option{core.WithBatching(), core.WithLogGC(core.DefaultGCEvery)}},
 	}
 	// The kv rows write across 256 keys (the BenchmarkSnapshotInterval
 	// workload): a state whose per-op snapshot clone is the dominant cost is
@@ -630,6 +635,45 @@ func BenchmarkShardedContended(b *testing.B) {
 				b.ReportMetric(float64(kv.Helped())/float64(b.N), "helped/op")
 			})
 		}
+	}
+}
+
+// BenchmarkSteadyStateHeap is the bounded-memory acceptance benchmark: one
+// long-lived universal object (no instance rotation — the log is never
+// thrown away) driven round-robin by every process, with the live heap
+// measured after a forced collection at the end. With the log GC on, live
+// heap is the O(n·snapEvery + n·gcEvery) region regardless of op count;
+// with it off, the anchored log retains every entry, node and snapshot ever
+// consed, so live heap grows linearly with b.N. Run with
+// -benchtime=10000000x to pin the 10M-op steady state; the gc row must come
+// out >= 10x under the nogc row there. heap-bytes is the retained delta
+// (post-GC HeapAlloc, end minus start).
+func BenchmarkSteadyStateHeap(b *testing.B) {
+	const n = 4
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "gc", opts: []core.Option{core.WithLogGC(core.DefaultGCEvery)}},
+		{name: "nogc"},
+	}
+	for _, mode := range modes {
+		b.Run("counter/"+mode.name, func(b *testing.B) {
+			u := core.NewUniversal(seqspec.Counter{}, core.NewSwapFAC(), n, mode.opts...)
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Invoke(i%n, seqspec.Op{Kind: "inc"})
+			}
+			b.StopTimer()
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)), "heap-bytes")
+			runtime.KeepAlive(u)
+		})
 	}
 }
 

@@ -17,9 +17,13 @@
 //
 // The -diff mode compares two recorded files instead of running anything:
 // benchmarks present in both (matched by name and procs) are compared on
-// ns/op and allocs/op, and any ratio above -threshold is reported as a
-// regression with exit status 1. Benchmarks that exist on only one side are
-// listed but never fail the diff — suites grow across PRs by design.
+// the gated metrics — ns/op and allocs/op by default, overridable with
+// -metrics (e.g. -metrics B/op,allocs/op,heap-bytes for a memory diff) —
+// and any ratio above -threshold is reported as a regression with exit
+// status 1. A metric absent or zero on the old side is skipped, so gating
+// on a metric older files never recorded is safe. Benchmarks that exist on
+// only one side are listed but never fail the diff — suites grow across
+// PRs by design.
 package main
 
 import (
@@ -71,7 +75,8 @@ func main() {
 		out       = flag.String("out", "BENCH_PR1.json", "output JSON path")
 		appendTo  = flag.Bool("append", false, "merge results into an existing -out file instead of overwriting")
 		diff      = flag.Bool("diff", false, "compare two recorded files: benchjson -diff old.json new.json")
-		threshold = flag.Float64("threshold", 1.25, "-diff: flag ns/op or allocs/op ratios above this as regressions")
+		threshold = flag.Float64("threshold", 1.25, "-diff: flag gated-metric ratios above this as regressions")
+		metrics   = flag.String("metrics", "ns/op,allocs/op", "-diff: comma-separated metrics to gate (others stay informational)")
 	)
 	flag.Parse()
 
@@ -80,7 +85,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+		gated := strings.Split(*metrics, ",")
+		for i := range gated {
+			gated[i] = strings.TrimSpace(gated[i])
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold, gated))
 	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
@@ -195,14 +204,12 @@ func merge(prev, fresh report) report {
 	return merged
 }
 
-// diffMetrics are the regression-gated metrics; everything else (custom
-// b.ReportMetric units, B/op) is informational.
-var diffMetrics = []string{"ns/op", "allocs/op"}
-
-// runDiff compares two recorded reports and returns the process exit code:
-// 0 when every shared benchmark is within threshold on the gated metrics,
-// 1 when any regressed.
-func runDiff(oldPath, newPath string, threshold float64) int {
+// runDiff compares two recorded reports on the gated metrics and returns
+// the process exit code: 0 when every shared benchmark is within threshold,
+// 1 when any regressed. A gated metric the old file lacks (or recorded as
+// zero) is skipped for that row: suites gain metrics across PRs the same
+// way they gain benchmarks.
+func runDiff(oldPath, newPath string, threshold float64, diffMetrics []string) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

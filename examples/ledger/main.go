@@ -53,7 +53,7 @@ func main() {
 				prior := ledger.FetchAndCons(a, e)
 				sum := int64(0)
 				n := 0
-				for node := prior; node != nil; node = node.Rest {
+				for node := prior; node != nil; node = node.Rest() {
 					sum = checksum(sum, node.Entry.Pid, node.Entry.Seq)
 					n++
 				}
@@ -69,10 +69,10 @@ func main() {
 	head := ledger.(headLister).Head()
 	total := 0
 	validated := 0
-	for node := head; node != nil; node = node.Rest {
+	for node := head; node != nil; node = node.Rest() {
 		total++
 		sum := int64(0)
-		for m := node.Rest; m != nil; m = m.Rest {
+		for m := node.Rest(); m != nil; m = m.Rest() {
 			sum = checksum(sum, m.Entry.Pid, m.Entry.Seq)
 		}
 		rec := records[node.Entry.Pid][node.Entry.Seq-1]

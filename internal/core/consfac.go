@@ -171,7 +171,7 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 // operation guarantee.
 func (f *ConsFAC) publish(pid int, self *Node) *Node {
 	f.decided[pid].Store(self)
-	return self.Rest
+	return self.Rest()
 }
 
 // Observe implements FetchAndCons: scan the n decided registers and return
@@ -244,7 +244,12 @@ func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
 	for i := range found {
 		found[i], resolved[i] = false, false
 	}
-	for n := base; n != nil && unresolved > 0; n = n.Rest {
+	// A base truncated by the log GC is safe to walk: no announced entry can
+	// sit below the collective low-water mark (its owner's observed register
+	// is frozen below the entry's eventual position for the whole call, see
+	// gc.go), so a walk cut short at the anchor can only miss early-exit
+	// hints, never a membership fact.
+	for n := base; n != nil && unresolved > 0; n = n.Rest() {
 		cur := n.Entry
 		for i, g := range goal {
 			if resolved[i] {
@@ -272,7 +277,7 @@ func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
 // trim (the caller's view of the state its operation observed), and the
 // node itself is the decided prefix ending with e that publish certifies.
 func trim(l *Node, e *Entry) *Node {
-	for n := l; n != nil; n = n.Rest {
+	for n := l; n != nil; n = n.Rest() {
 		if n.Entry == e {
 			return n
 		}

@@ -77,27 +77,49 @@ func (e *Entry) String() string {
 	return fmt.Sprintf("P%d#%d:%s", e.Pid, e.Seq, e.Op)
 }
 
-// Node is an immutable cons cell of the shared log list. Lists grow by
-// prepending; Rest and Len never change after creation.
+// Node is a cons cell of the shared log list. Lists grow by prepending;
+// Entry and Len never change after creation. Len is the entry's 1-based
+// position in the log (the all-time length of the list it heads), which
+// makes it a stable index even after truncation.
+//
+// The rest pointer is one-shot mutable: it holds the creation-time tail
+// until the log GC's anchor swing (see gc.go) severs it to nil, retiring
+// everything below so Go's collector can reclaim the dead tail. The
+// low-water-mark protocol guarantees no replay can be walking below a
+// severed point, so readers only ever see either the full tail or the
+// anchor cut — never a partially retired list.
 type Node struct {
 	Entry *Entry
-	Rest  *Node
-	Len   int // number of nodes in this list (including this one)
+	Len   int // 1-based log position: number of entries ever at or below this one
+	rest  atomic.Pointer[Node]
 }
 
-// Cons prepends entry e to list rest.
+// Rest returns the list below this cell: its creation-time tail, or nil
+// once the log GC has severed it (or the cell heads the log's oldest entry).
+func (n *Node) Rest() *Node { return n.rest.Load() }
+
+// sever cuts the list below this cell, retiring the tail. Callers must hold
+// the low-water-mark guarantee that no walk is at or below the tail.
+func (n *Node) sever() { n.rest.Store(nil) }
+
+// Cons prepends entry e to list rest. Len is fixed in the literal — the
+// cell's identity fields are complete before it can escape; only the rest
+// pointer is (one-shot) mutable afterwards.
 func Cons(e *Entry, rest *Node) *Node {
-	n := &Node{Entry: e, Rest: rest, Len: 1}
+	length := 1
 	if rest != nil {
-		n.Len = rest.Len + 1
+		length = rest.Len + 1
 	}
+	n := &Node{Entry: e, Len: length}
+	n.rest.Store(rest)
 	return n
 }
 
-// Entries returns the list's entries, newest first.
+// Entries returns the list's entries, newest first: the full history, or the
+// surviving prefix once the log GC has retired the tail.
 func Entries(l *Node) []*Entry {
 	var out []*Entry
-	for n := l; n != nil; n = n.Rest {
+	for n := l; n != nil; n = n.Rest() {
 		out = append(out, n.Entry)
 	}
 	return out

@@ -75,7 +75,7 @@ func runExhaustive(t *testing.T, obj seqspec.Object, script [][]seqspec.Op) int 
 
 func (s *exhaustiveSim) key() string {
 	var b strings.Builder
-	for n := s.head; n != nil; n = n.Rest {
+	for n := s.head; n != nil; n = n.Rest() {
 		fmt.Fprintf(&b, "%d.%d", n.Entry.Pid, n.Entry.Seq)
 		if n.Entry.snapshot.Load() != nil {
 			b.WriteByte('s')
@@ -131,7 +131,7 @@ func (s *exhaustiveSim) stepCons(p int) {
 
 	prev := *pr
 	pr.phase, pr.entry, pr.ownNode, pr.pos, pr.pending, pr.base =
-		phWalking, e, node, node.Rest, nil, nil
+		phWalking, e, node, node.Rest(), nil, nil
 	s.trace = append(s.trace, fmt.Sprintf("P%d cons %s", p, op))
 
 	s.explore()
@@ -161,7 +161,7 @@ func (s *exhaustiveSim) stepWalk(p int) {
 		pr.phase = phStoring
 	} else {
 		pr.pending = append(pr.pending, pr.pos.Entry)
-		pr.pos = pr.pos.Rest
+		pr.pos = pr.pos.Rest()
 	}
 	s.trace = append(s.trace, fmt.Sprintf("P%d walk", p))
 

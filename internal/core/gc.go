@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Log GC: the wait-free low-water-mark protocol that bounds the decided
+// log's live storage, realizing the Section 4.1 reclamation argument ("it
+// is safe to discard any state elements whose n immediate predecessors in
+// the list are also state elements") as actual memory reclamation. Without
+// it the log is anchored at the head forever and grows O(total ops); with
+// it live storage is O(n · snapEvery) plus the entries announced since the
+// last mark advance, independent of the object's age.
+//
+// The protocol has three parts, in the shape of the Paxos Done/Min GC
+// contract:
+//
+//  1. Observed-prefix registers. Each front end owns a single-writer
+//     register observed[pid] holding the log index (Node.Len) of the newest
+//     snapshot its completed replays have started from. The register is
+//     monotone, and it is a promise about the future: every later replay by
+//     that pid stops at an index >= observed[pid], because the snapshot it
+//     stopped at last time is still there (snapshots are set once and never
+//     cleared) and replays stop at the first snapshot below their head.
+//     Critically the promise also covers the pid's in-flight replay — the
+//     register is only advanced between the pid's own operations, so a
+//     mid-walk replay is bounded by the value published before it began.
+//
+//  2. Min-scan. The collective low-water mark is the minimum over the n
+//     observed registers: one bounded scan, no consensus, no cons. Below
+//     the mark no replay — completed, in-flight, or future — can ever walk.
+//
+//  3. Anchor swing. A single CAS on the anchor index elects at most one
+//     process to apply a new mark; the winner walks from the head to the
+//     node at the mark (the anchor node, always a snapshot-carrying entry,
+//     since every observed value is one) and severs its rest pointer,
+//     making the dead tail unreachable so Go's collector reclaims it.
+//
+// The mark's floor is an idle process: a pid that never replays pins the
+// log at its last published index (exactly as a Paxos peer that never
+// calls Done pins the log), and a pid that has never operated pins it at
+// zero. This is the honest cost of a wait-free protocol with no quiescence
+// detection; DESIGN.md discusses the alternatives (hazard pointers,
+// epoch-based reclamation). Two mitigations keep the common cases moving:
+// replays gossip their stopping index through the best-effort floor
+// register, and the batched helped path — which replays nothing — adopts
+// the floor so a pid served entirely by executors still advances.
+//
+// Correctness of severing hinges on who can be below the mark when the
+// anchor swings:
+//
+//   - Replays: bounded by their owner's observed register (>= mark).
+//   - ConsFAC merge walks: an announced entry's owner froze its register
+//     below the entry's eventual log position for the whole call, so the
+//     mark cannot pass any entry that merge must find; a truncated walk
+//     only loses early-exit hints (see mergeWith).
+//   - trim: the caller's own entry is above its own frozen register.
+//   - The read cache: a cached head below the mark is dropped by the epoch
+//     bump and the explicit invalidation in gcSwing.
+
+// gcState is the Universal's low-water-mark machinery; zero value = GC off.
+type gcState struct {
+	// observed[p] is p's single-writer observed-prefix register: the log
+	// index of the newest snapshot p's replays are promised to stop at or
+	// above. Slots are cache-line padded like wfstats.StripedCounter: the
+	// store is on the write path of every operation.
+	observed []obsSlot
+
+	// floor is the best-effort gossip register: the highest snapshot index
+	// any completed replay is known to have stopped at. Raised with a single
+	// CAS attempt (losing just means someone raised it concurrently), read
+	// by the helped path to advance without replaying. It never enters the
+	// min-scan directly — observed[] alone guards in-flight walks.
+	floor atomic.Int64
+
+	// anchor is the applied low-water mark: the log index of the anchor
+	// node, below which everything is severed. Entries strictly below it
+	// (anchor-1 of them) are retired. CAS-advanced; 0 = nothing retired.
+	anchor atomic.Int64
+
+	// epoch counts anchor swings. The read cache stores the epoch it was
+	// built under and misses on a stale one, so a retired tail is never
+	// pinned past the swing that retired it.
+	epoch atomic.Int64
+}
+
+// obsSlot is one observed-prefix register, padded to a cache line so the
+// per-operation store never bounces a neighbor's line. cap rides in the
+// padding: the index below which the register is allowed to advance,
+// maintained and read only by the owning pid (plain field, no atomics).
+type obsSlot struct {
+	v atomic.Int64
+	// cap is one below the log index of the pid's newest consed entry. The
+	// observed register must never reach that entry's index: ConsFAC's
+	// announce register may hold the entry long after it completed, and a
+	// later merge walk must still find it in any truncated decided list to
+	// avoid re-consing it (mergeWith's membership facts live at or below
+	// the entry). Capping here keeps the collective mark strictly below
+	// every entry any announce register can hold.
+	cap int64
+	_   [48]byte
+}
+
+// DefaultGCEvery is the facade's default mark-advance period (WithLogGC):
+// each front end attempts an advance every 64th write, amortizing the
+// min-scan and truncation walk the same way snapshot intervals amortize
+// clones. Between advances at most n·DefaultGCEvery retirable entries
+// float, a constant-factor add to the live region.
+const DefaultGCEvery = 64
+
+// WithLogGC enables low-water-mark log truncation: every front end
+// publishes the snapshot index its replays stop at, and every every-th
+// write per process attempts to advance the collective mark and sever the
+// log below it. Requires truncation (snapshots are the retention anchors);
+// a Universal built WithoutTruncation ignores it. every must be >= 1.
+//
+// The trade is the usual low-water-mark one: live memory drops from
+// O(total ops) to O(n·snapEvery + n·every), at the cost of one padded
+// store per write and an O(n) min-scan plus bounded truncation walk every
+// every-th write. A registered process that never invokes pins the mark at
+// zero, exactly as an idle Paxos peer pins Min().
+func WithLogGC(every int) Option {
+	if every < 1 {
+		panic("core: log GC interval must be >= 1")
+	}
+	return func(u *Universal) { u.gcEvery = int64(every) }
+}
+
+// WithoutLogGC disables low-water-mark log truncation (the default for
+// NewUniversal; front ends that enable it by default, like the sharded KV
+// facade, use this to switch it back off).
+func WithoutLogGC() Option {
+	return func(u *Universal) { u.gcEvery = 0 }
+}
+
+// gcOn reports whether the low-water-mark protocol is active: it needs
+// snapshots to anchor retention, so truncation must be on too.
+func (u *Universal) gcOn() bool { return u.gcEvery > 0 && u.truncate }
+
+// gcObserve publishes pid's newest replay stopping point: stop is the log
+// index of the snapshot node the replay started from (0 if it walked to
+// the log's origin). Single writer — pid's own front end, between that
+// pid's walks — so a plain load/store pair suffices, and the monotone max
+// keeps the register a promise about all future replays.
+func (u *Universal) gcObserve(pid int, stop int64) {
+	if !u.gcOn() || stop == 0 {
+		return
+	}
+	// Gossip the uncapped stop: one CAS attempt to raise the shared floor;
+	// a lost race means another replay raised it concurrently, which is
+	// just as good. The floor is capped per-adopter, not here.
+	if f := u.gc.floor.Load(); stop > f {
+		u.gc.floor.CompareAndSwap(f, stop)
+	}
+	slot := &u.gc.observed[pid]
+	if stop > slot.cap {
+		stop = slot.cap // never pass the pid's own newest consed entry
+	}
+	if stop > slot.v.Load() {
+		slot.v.Store(stop)
+	}
+}
+
+// gcNoteCons records that pid just consed an entry above prior: the pid's
+// observed register is from now on capped below that entry's log index, so
+// the mark can never retire an entry that pid's announce register may still
+// expose to merge. Called by pid's own write path right after its cons.
+func (u *Universal) gcNoteCons(pid int, prior *Node) {
+	if !u.gcOn() {
+		return
+	}
+	if prior == nil {
+		return // first entry: cap stays 0
+	}
+	u.gc.observed[pid].cap = int64(prior.Len)
+}
+
+// gcAdoptFloor advances pid's observed register to the gossiped floor
+// without a replay — the helped path's contribution to the mark. Sound
+// because a floor value is some completed replay's stopping snapshot: that
+// snapshot is visible to every future walk from every future head, so
+// pid's future replays stop at or above it. Called only between pid's own
+// operations (after the helped return), preserving the single-writer and
+// no-walk-in-flight discipline.
+func (u *Universal) gcAdoptFloor(pid int) {
+	if !u.gcOn() {
+		return
+	}
+	slot := &u.gc.observed[pid]
+	f := u.gc.floor.Load()
+	if f > slot.cap {
+		f = slot.cap
+	}
+	if f > slot.v.Load() {
+		slot.v.Store(f)
+	}
+}
+
+// gcAdvance computes the collective low-water mark and, if it moved,
+// swings the anchor: one bounded min-scan, one CAS electing the swinger,
+// one bounded walk to the new anchor node. Safe to call from any front
+// end at any point outside its own replay; losing the CAS means another
+// process is applying an at-least-as-fresh mark.
+func (u *Universal) gcAdvance() {
+	if !u.gcOn() {
+		return
+	}
+	// The min-scan reads each of the n observed-prefix registers once; a
+	// range loop is machine-bounded by its operand, so no directive needed.
+	mark := int64(math.MaxInt64)
+	for p := range u.gc.observed {
+		if v := u.gc.observed[p].v.Load(); v < mark {
+			mark = v
+		}
+	}
+	old := u.gc.anchor.Load()
+	if mark <= old {
+		return // nothing newly retirable (covers the never-replayed 0 floor)
+	}
+	if !u.gc.anchor.CompareAndSwap(old, mark) {
+		return // another process is swinging to a mark >= this one
+	}
+	u.gcSwing(old, mark)
+}
+
+// gcSwing applies an elected mark: walk from the head to the anchor node
+// (log index mark) and sever its tail. The walk is cut short harmlessly if
+// a later swing already severed above mark — everything below is then
+// already unreachable.
+func (u *Universal) gcSwing(old, mark int64) {
+	head := u.fac.Observe()
+	scanned := int64(0)
+	//wf:bounded walks head down to the anchor node: at most the live region, O(n·snapEvery) plus the entries announced since the last advance (the mark is below every in-flight walk, so the anchor node is reachable unless a newer swing already cut above it)
+	for n := head; ; n = n.Rest() {
+		if n == nil {
+			break // empty log, or a newer swing already severed above mark
+		}
+		scanned++
+		if int64(n.Len) == mark {
+			n.sever()
+			break
+		}
+		if int64(n.Len) < mark {
+			break // a newer swing already severed above; nothing to do
+		}
+	}
+	retired := mark - old
+	if old == 0 {
+		retired = mark - 1 // entries strictly below the first anchor
+	}
+	u.gc.epoch.Add(1)
+	// Drop a read-cache entry whose head was retired by this swing, so the
+	// cache cannot pin the dead tail while readers are idle; the epoch check
+	// in readFast handles the racing-reader window.
+	if c := u.lastRead.Load(); c != nil && int64(c.head.Len) < mark {
+		u.lastRead.CompareAndSwap(c, nil)
+	}
+	u.stats.retired.Add(retired)
+	u.stats.gcScanLen.Observe(scanned)
+	if head != nil {
+		u.stats.logLen.Set(int64(head.Len) - (mark - 1))
+	}
+}
+
+// Min computes the collective low-water mark right now: the minimum over
+// the observed-prefix registers, the Paxos Min() of this log. Zero when GC
+// is off or some process has never completed a replay.
+func (u *Universal) Min() int64 {
+	if !u.gcOn() {
+		return 0
+	}
+	mark := int64(math.MaxInt64)
+	for p := range u.gc.observed { // bounded min-scan, mirrors gcAdvance
+		if v := u.gc.observed[p].v.Load(); v < mark {
+			mark = v
+		}
+	}
+	return mark
+}
+
+// Anchor returns the applied low-water mark: the log index of the current
+// anchor node. Entries strictly below it have been severed from the list.
+// Zero means nothing has been retired.
+func (u *Universal) Anchor() int64 { return u.gc.anchor.Load() }
+
+// Retired reports how many log entries the GC has severed so far. Derived
+// from the anchor index, so it works in the WithMetrics(nil) no-op mode.
+func (u *Universal) Retired() int64 {
+	if a := u.gc.anchor.Load(); a > 0 {
+		return a - 1
+	}
+	return 0
+}

@@ -79,6 +79,7 @@ const (
 func (u *Universal) invokeBatched(pid int, e *Entry) int64 {
 	gather := u.contended.Load() || e.Seq%gatherEvery == 0
 	prior := u.fac.FetchAndCons(pid, e)
+	u.gcNoteCons(pid, prior)
 	if resp, ok := u.awaitHelp(e, gather); ok {
 		return resp
 	}
@@ -93,11 +94,18 @@ func (u *Universal) invokeBatched(pid int, e *Entry) int64 {
 	if u.truncate && (published > 0 || e.Seq%u.snapEvery == 0) {
 		u.stats.snapStores.Inc()
 		e.snapshot.Store(&snapBox{state: pre.Clone()})
+		u.sampleLiveRegion(e.Seq)
 	}
 	resp := pre.Apply(e.Op)
 	e.Publish(resp)
 	u.stats.batchLen.Observe(int64(published) + 1)
 	u.contended.Store(published > 0)
+	// One mark advance per batch, amortized like the batch's single
+	// snapshot: a pass that helped anyone pays the min-scan once for the
+	// whole wave; a solo pass pays it only on its gcEvery schedule.
+	if u.gcEvery > 0 && (published > 0 || e.Seq%u.gcEvery == 0) {
+		u.gcAdvance()
+	}
 	return resp
 }
 
@@ -151,11 +159,15 @@ func (u *Universal) awaitHelp(e *Entry, gather bool) (int64, bool) {
 
 // recordHelped accounts one helped return — the operation skipped its replay
 // and, when its turn in the snapshot schedule had come, its snapshot store —
-// and keeps the gather hint set: being helped is proof a batch formed.
+// and keeps the gather hint set: being helped is proof a batch formed. The
+// helped process replayed nothing, so it advances its observed-prefix
+// register from the gossip floor instead: a pid served entirely by
+// executors must not pin the low-water mark.
 func (u *Universal) recordHelped(e *Entry) {
 	u.stats.helped.Inc()
 	if u.truncate && e.Seq%u.snapEvery == 0 {
 		u.stats.snapSaved.Inc()
 	}
 	u.contended.Store(true)
+	u.gcAdoptFloor(e.Pid)
 }

@@ -157,10 +157,10 @@ func TestTrim(t *testing.T) {
 	if self == nil || self.Entry != es[1] {
 		t.Fatalf("trim returned wrong node: %v", Entries(self))
 	}
-	if suffix := self.Rest; suffix == nil || suffix.Entry != es[0] {
-		t.Fatalf("trim returned wrong suffix: %v", Entries(self.Rest))
+	if suffix := self.Rest(); suffix == nil || suffix.Entry != es[0] {
+		t.Fatalf("trim returned wrong suffix: %v", Entries(self.Rest()))
 	}
-	if trim(l, es[0]).Rest != nil {
+	if trim(l, es[0]).Rest() != nil {
 		t.Fatal("trim at the tail should have nil rest")
 	}
 	defer func() {

@@ -3,29 +3,45 @@ package core
 // Space accounting for the Section 4.1 reclamation argument: "it is safe to
 // discard any state elements whose n immediate predecessors in the list are
 // also state elements", bounding live storage at O(n^2). In Go the garbage
-// collector performs the actual reclamation (nothing references nodes below
-// a replay's stopping point), but the *live region* — the prefix a future
-// replay might still traverse — is measurable and should obey the paper's
-// bound.
+// collector performs the actual reclamation — the low-water-mark GC
+// (gc.go) severs the list below the anchor so nothing references the dead
+// tail — but the *live region*, the prefix a future replay might still
+// traverse, is measurable and should obey the paper's bound. Snapshot-store
+// sites sample it into the universal.live_region gauge (sampleLiveRegion).
 
-// LiveRegion returns the length of the list prefix that a replay by any of
-// n processes could still traverse: the number of nodes from head up to and
-// including the n-th consecutive snapshotted entry (everything below is
-// unreachable by the replay rule). A region of -1 means the entire list is
-// live (fewer than n consecutive snapshots exist).
-func LiveRegion(head *Node, n int) int {
+// LiveRegion measures the list prefix that a replay by any of n processes
+// could still traverse: the number of nodes from head up to and including
+// the n-th consecutive snapshotted entry (everything below is unreachable
+// by the replay rule), or up to the list's end — its origin or the GC's
+// anchor cut — when fewer than n consecutive snapshots exist. bounded
+// reports which case ended the walk: false means the walk ran off the end
+// with the replay rule never closing the region, so the entire reachable
+// list is live.
+func LiveRegion(head *Node, n int) (length int, bounded bool) {
+	return liveRegionCapped(head, n, -1)
+}
+
+// liveRegionCapped is LiveRegion with a walk budget: once length reaches
+// limit the walk stops and reports unbounded, so callers on a hot path (the
+// live-region gauge sampler) never pay O(log length) for a region the
+// replay rule isn't going to close — with sparse snapshots (snapEvery > 1,
+// or batching, where helped entries skip their snapshot) n *consecutive*
+// snapshotted entries may never occur. limit < 0 means no cap.
+func liveRegionCapped(head *Node, n, limit int) (length int, bounded bool) {
 	consecutive := 0
-	length := 0
-	for node := head; node != nil; node = node.Rest {
+	for node := head; node != nil; node = node.Rest() {
+		if length == limit {
+			return length, false
+		}
 		length++
 		if node.Entry.snapshot.Load() != nil {
 			consecutive++
 			if consecutive >= n {
-				return length
+				return length, true
 			}
 		} else {
 			consecutive = 0
 		}
 	}
-	return -1
+	return length, false
 }

@@ -50,16 +50,10 @@ var _ FetchAndCons = (*SwapFAC)(nil)
 //wf:bounded one simulated primitive step: the gate encloses exactly the constant-time anchor/cdr exchange (Theorem 16 substitution, see the type doc)
 func (f *SwapFAC) FetchAndCons(pid int, e *Entry) *Node {
 	f.conses.Inc()
-	cell := &Node{Entry: e}
 
 	f.mu.Lock() // begin simulated atomic swap(anchor, cell.cdr)
 	prior := f.head.Load()
-	cell.Rest = prior
-	cell.Len = 1
-	if prior != nil {
-		cell.Len = prior.Len + 1
-	}
-	f.head.Store(cell)
+	f.head.Store(Cons(e, prior))
 	f.mu.Unlock() // end simulated atomic swap
 
 	return prior

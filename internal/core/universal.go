@@ -32,7 +32,13 @@ type Universal struct {
 	snapEvery int64
 	fastRead  bool
 	batch     bool
+	gcEvery   int64 // mark-advance period per process; 0 = log GC off
 	seqs      []atomic.Int64
+
+	// gc is the low-water-mark log truncation machinery (see gc.go):
+	// per-pid observed-prefix registers, the gossip floor, and the applied
+	// anchor. Zero value when gcEvery is 0.
+	gc gcState
 
 	// contended is the batched path's gather hint: set while batching is
 	// observably paying off (the last executor pass helped someone, or this
@@ -95,6 +101,17 @@ type universalStats struct {
 	// settled (its own plus every helped entry it published), the paper's
 	// one-operation-per-wave quantity from the combining-network discussion.
 	batchLen *wfstats.Histogram
+	// retired counts log entries severed by the low-water-mark GC, and
+	// logLen gauges the live log length (head index minus retired) as of
+	// the latest anchor swing or sample. Flat zeros with GC off.
+	retired *wfstats.Counter
+	logLen  *wfstats.Gauge
+	// gcScanLen is the truncation-scan histogram: nodes walked per anchor
+	// swing, bounded by the live region when the GC keeps up.
+	gcScanLen *wfstats.Histogram
+	// liveRegion gauges the Section 4.1 live region (see LiveRegion),
+	// sampled at every liveSampleEvery-th snapshot store per process.
+	liveRegion *wfstats.Gauge
 }
 
 // replayScratch is one pid's reusable replay buffer (single writer: the
@@ -103,10 +120,15 @@ type replayScratch struct {
 	pending []*Entry
 }
 
-// readSnap pairs an observed decided list with the state it replays to.
+// readSnap pairs an observed decided list with the state it replays to,
+// stamped with the GC epoch it was built under: an anchor swing bumps the
+// epoch, so a snap cached before a retirement can never be served — or pin
+// the dead tail — after it (see gcSwing, which also clears a stale snap
+// eagerly).
 type readSnap struct {
 	head  *Node
 	state seqspec.State
+	epoch int64
 }
 
 // Option configures a Universal.
@@ -179,6 +201,9 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 	for _, o := range opts {
 		o(u)
 	}
+	if u.gcOn() {
+		u.gc.observed = make([]obsSlot, n)
+	}
 	if !u.metricsSet {
 		u.metrics = wfstats.NewRegistry()
 	}
@@ -191,6 +216,10 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 		helped:     u.metrics.Counter("universal.helped"),
 		snapSaved:  u.metrics.Counter("universal.snapshot_saved"),
 		batchLen:   u.metrics.Histogram("universal.batch_len"),
+		retired:    u.metrics.Counter("universal.retired"),
+		logLen:     u.metrics.Gauge("universal.log_len"),
+		gcScanLen:  u.metrics.Histogram("universal.gc_scan_len"),
+		liveRegion: u.metrics.Gauge("universal.live_region"),
 	}
 	return u
 }
@@ -219,24 +248,58 @@ func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
 		return u.invokeBatched(pid, e)
 	}
 	prior := u.fac.FetchAndCons(pid, e)
+	u.gcNoteCons(pid, prior)
 	pre := u.replay(pid, prior)
 	if u.truncate && e.Seq%u.snapEvery == 0 {
 		u.stats.snapStores.Inc()
 		e.snapshot.Store(&snapBox{state: pre.Clone()})
+		u.sampleLiveRegion(e.Seq)
+	}
+	if u.gcEvery > 0 && e.Seq%u.gcEvery == 0 {
+		u.gcAdvance()
 	}
 	return pre.Apply(op)
 }
 
-// readFast serves a read-only operation from a decided list.
+// liveSampleEvery gates the universal.live_region gauge: snapshot-store
+// sites sample LiveRegion on every liveSampleEvery-th store per process, so
+// wfstat shows the Section 4.1 region live without putting an O(n·k) walk
+// on every write. liveSampleCap bounds each sample's walk: when snapshots
+// are sparse (snapEvery > 1 with interleaved writers, or batching) the
+// replay rule may never close the region, and a gauge sample must saturate
+// (report the cap), not traverse an unbounded log. The budget is sized so
+// a saturating sampler costs ~cap/(every·snapEvery) ≈ a few node loads per
+// write, amortized; any healthy GC-on live region sits well under the cap.
+const (
+	liveSampleEvery = 64
+	liveSampleCap   = 512
+)
+
+// sampleLiveRegion refreshes the live-region gauge from a snapshot-store
+// site; seq is the storing entry's per-process sequence number. A reading
+// of liveSampleCap means the sample saturated its walk budget.
+func (u *Universal) sampleLiveRegion(seq int64) {
+	if u.stats.liveRegion == nil || seq%liveSampleEvery != 0 {
+		return
+	}
+	length, _ := liveRegionCapped(u.fac.Observe(), len(u.seqs), liveSampleCap)
+	u.stats.liveRegion.Set(int64(length))
+}
+
+// readFast serves a read-only operation from a decided list. The cache key
+// is the observed head plus the GC epoch: an anchor swing invalidates every
+// older snap, so the cache re-replays once per retirement (stopping at the
+// fresh anchor) instead of holding a pre-retirement head alive.
 func (u *Universal) readFast(pid int, op seqspec.Op) int64 {
 	head := u.fac.Observe()
-	if c := u.lastRead.Load(); c != nil && c.head == head {
+	epoch := u.gc.epoch.Load()
+	if c := u.lastRead.Load(); c != nil && c.head == head && c.epoch == epoch {
 		u.stats.fastHits.Inc(pid)
 		return c.state.Apply(op) // frozen state; ReadOnly Apply never mutates (contract-tested in seqspec)
 	}
 	u.stats.fastMisses.Inc(pid)
 	state := u.replay(pid, head)
-	u.lastRead.Store(&readSnap{head: head, state: state})
+	u.lastRead.Store(&readSnap{head: head, state: state, epoch: epoch})
 	return state.Apply(op)
 }
 
@@ -259,8 +322,9 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 	pending := sc.pending[:0]
 	var state seqspec.State
 	published := 0
+	stop := int64(0) // log index of the snapshot the walk stopped at
 	//wf:bounded walks to the first snapshotted entry: at most snapEvery un-snapshotted entries per live process (Section 4.1's strong wait-freedom bound), or the whole finite list without truncation
-	for n := list; ; n = n.Rest {
+	for n := list; ; n = n.Rest() {
 		if n == nil {
 			state = u.seq.Init()
 			break
@@ -268,6 +332,7 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 		if s := n.Entry.snapshot.Load(); s != nil {
 			// s.state is the state before n.Entry's op; apply it first.
 			state = s.state.Clone()
+			stop = int64(n.Len)
 			resp := state.Apply(n.Entry.Op)
 			if help {
 				published += publishIfEmpty(n.Entry, resp)
@@ -285,6 +350,7 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 
 	sc.pending = pending
 	u.stats.replayLen.Observe(int64(len(pending)))
+	u.gcObserve(pid, stop)
 	return state, published
 }
 

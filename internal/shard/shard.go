@@ -195,6 +195,29 @@ func (s *Sharded) BatchStats() (batches int64, mean float64, max int64) {
 	return batches, mean, max
 }
 
+// Retired sums the log-GC retirement counts across shards: how many decided
+// log entries the low-water-mark protocol (core.WithLogGC) has severed in
+// total. Zero when GC is off.
+func (s *Sharded) Retired() int64 {
+	var total int64
+	for _, u := range s.shards {
+		total += u.Retired()
+	}
+	return total
+}
+
+// Anchors reports each shard's applied low-water mark (core's
+// Universal.Anchor): the log index of its anchor node, 0 if that shard has
+// retired nothing. Marks advance independently — each shard's mark is the
+// minimum over its own processes' observed-prefix registers.
+func (s *Sharded) Anchors() []int64 {
+	marks := make([]int64, len(s.shards))
+	for i, u := range s.shards {
+		marks[i] = u.Anchor()
+	}
+	return marks
+}
+
 // ReplayStats aggregates replay statistics across shards: total replays,
 // weighted mean replay length, and the largest per-shard max.
 func (s *Sharded) ReplayStats() (ops int64, mean float64, max int64) {

@@ -178,3 +178,40 @@ func TestKVRouterUnknownOpPanics(t *testing.T) {
 	}()
 	KVRouter(seqspec.Op{Kind: "frobnicate"})
 }
+
+// TestShardedLogGC: per-shard low-water marks advance independently and the
+// aggregated accessors report them. Both processes must touch every shard —
+// a shard some registered process never writes keeps its mark pinned at
+// zero, exactly the core protocol's idle-process floor.
+func TestShardedLogGC(t *testing.T) {
+	const shards, procs, keys = 2, 2, 32
+	s := NewKV(shards, procs, mkSwap, core.WithLogGC(1))
+	for round := 0; round < 40; round++ {
+		for p := 0; p < procs; p++ {
+			for k := int64(0); k < keys; k++ {
+				s.Invoke(p, seqspec.Op{Kind: "put", Args: []int64{k, int64(round)}})
+			}
+		}
+	}
+	marks := s.Anchors()
+	if len(marks) != shards {
+		t.Fatalf("Anchors() has %d entries, want %d", len(marks), shards)
+	}
+	var wantRetired int64
+	for i, m := range marks {
+		if m == 0 {
+			t.Errorf("shard %d never advanced its mark", i)
+			continue
+		}
+		wantRetired += m - 1
+	}
+	if got := s.Retired(); got != wantRetired {
+		t.Errorf("Retired() = %d, want the summed per-shard %d", got, wantRetired)
+	}
+	// Truncation must not disturb per-key state.
+	for k := int64(0); k < keys; k++ {
+		if got := s.Invoke(0, seqspec.Op{Kind: "get", Args: []int64{k}}); got != 39 {
+			t.Fatalf("get(%d) = %d after GC, want 39", k, got)
+		}
+	}
+}

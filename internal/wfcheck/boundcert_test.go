@@ -102,6 +102,9 @@ func TestCoreBoundsReport(t *testing.T) {
 	if got := byScope["loop in replayPublish"]; got != BoundTrusted {
 		t.Errorf("replayPublish walk certified %q, want %q (snapshot-bound argument)", got, BoundTrusted)
 	}
+	if got := byScope["loop in gcSwing"]; got != BoundTrusted {
+		t.Errorf("gcSwing anchor walk certified %q, want %q (live-region argument)", got, BoundTrusted)
+	}
 }
 
 // TestTreeBoundsTotals pins the tree-wide certification totals that
@@ -129,7 +132,10 @@ func TestTreeBoundsTotals(t *testing.T) {
 		}
 	}
 	want := map[BoundStatus]int{
-		BoundVerified: 5, BoundTrusted: 10, BoundLockFree: 4, BoundContradicted: 0,
+		// The log GC's anchor walk (gcSwing) is trusted on the live-region
+		// argument; its min-scans are plain range loops, machine-bounded by
+		// their operand, so they carry no directive and add no record.
+		BoundVerified: 5, BoundTrusted: 11, BoundLockFree: 4, BoundContradicted: 0,
 	}
 	for status, n := range want {
 		if counts[status] != n {

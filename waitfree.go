@@ -165,6 +165,20 @@ func WithBatching() Option { return core.WithBatching() }
 // switch off NewShardedKV's default.
 func WithoutBatching() Option { return core.WithoutBatching() }
 
+// WithLogGC enables low-water-mark log truncation: each front end publishes
+// the log index its replays stop at, and every every-th write per process
+// computes the collective minimum and severs the decided log below it, so
+// Go's collector reclaims the retired tail. Live memory drops from O(total
+// ops) to O(n·snapshot interval + n·every). Requires truncation (snapshots
+// anchor retention); a registered process that never invokes pins the mark,
+// exactly as an idle peer pins a replicated log's Min(). Off by default for
+// New; NewShardedKV turns it on (pass WithoutLogGC to disable there).
+func WithLogGC(every int) Option { return core.WithLogGC(every) }
+
+// WithoutLogGC disables low-water-mark log truncation; mainly useful to
+// switch off NewShardedKV's default.
+func WithoutLogGC() Option { return core.WithoutLogGC() }
+
 // Metrics is a wait-free metrics registry (internal/wfstats): counters,
 // gauges and power-of-two histograms recorded with single atomic operations
 // — no locks, no allocation on the record path — and exported with
@@ -202,9 +216,10 @@ type Sharded = shard.Sharded
 // procs processes. For read-dominated, key-partitionable workloads this
 // scales throughput near-linearly in the shard count. Helping-based write
 // batching (WithBatching) is on by default — writers that contend on one
-// shard are served by a single replay pass — and can be disabled by passing
-// WithoutBatching.
+// shard are served by a single replay pass — and so is low-water-mark log
+// GC (WithLogGC), keeping each shard's log memory bounded; disable either
+// with WithoutBatching / WithoutLogGC.
 func NewShardedKV(shards, procs int, mk func() FetchAndCons, opts ...Option) *Sharded {
-	withDefaults := append([]Option{WithBatching()}, opts...)
+	withDefaults := append([]Option{WithBatching(), WithLogGC(core.DefaultGCEvery)}, opts...)
 	return shard.NewKV(shards, procs, mk, withDefaults...)
 }

@@ -237,6 +237,52 @@ func TestBatchingDefaults(t *testing.T) {
 	}
 }
 
+// TestLogGCDefaults pins the facade defaults: New leaves the log GC off
+// (the paper-faithful ever-growing log), NewShardedKV turns it on, and
+// WithoutLogGC switches the sharded default back off.
+func TestLogGCDefaults(t *testing.T) {
+	put := func(k, v int64) waitfree.Op {
+		return waitfree.Op{Kind: "put", Args: []int64{k, v}}
+	}
+
+	plain := waitfree.New(waitfree.KV{}, waitfree.NewSwapFetchAndCons(), 1)
+	withGC := waitfree.New(waitfree.KV{}, waitfree.NewSwapFetchAndCons(), 1,
+		waitfree.WithLogGC(1))
+	for i := int64(0); i < 300; i++ {
+		plain.Invoke(0, put(i%8, i))
+		withGC.Invoke(0, put(i%8, i))
+	}
+	if r := plain.Retired(); r != 0 {
+		t.Errorf("New default retired %d entries, want 0 (log GC off)", r)
+	}
+	if r := withGC.Retired(); r == 0 {
+		t.Error("WithLogGC(1) retired nothing after 300 writes")
+	}
+
+	// The sharded default (every = core.DefaultGCEvery = 64) needs enough
+	// writes per shard per process for every register to pass a mark.
+	sharded := waitfree.NewShardedKV(2, 1, waitfree.NewSwapFetchAndCons)
+	off := waitfree.NewShardedKV(2, 1, waitfree.NewSwapFetchAndCons,
+		waitfree.WithoutLogGC())
+	for i := int64(0); i < 2000; i++ {
+		sharded.Invoke(0, put(i%16, i))
+		off.Invoke(0, put(i%16, i))
+	}
+	if r := sharded.Retired(); r == 0 {
+		t.Error("NewShardedKV default retired nothing, want log GC on")
+	}
+	if r := off.Retired(); r != 0 {
+		t.Errorf("NewShardedKV WithoutLogGC retired %d entries, want 0", r)
+	}
+	// Truncation must not disturb state: the last write of key k was
+	// put(k, 1984+k) on iteration i = 1984+k.
+	for k := int64(0); k < 16; k++ {
+		if got, want := sharded.Invoke(0, waitfree.Op{Kind: "get", Args: []int64{k}}), 1984+k; got != want {
+			t.Fatalf("get(%d) = %d after GC, want %d", k, got, want)
+		}
+	}
+}
+
 func ExampleNewShardedKV() {
 	const shards, procs = 4, 2
 	kv := waitfree.NewShardedKV(shards, procs, waitfree.NewSwapFetchAndCons)
