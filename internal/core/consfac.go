@@ -147,7 +147,7 @@ func (f *ConsFAC) FetchAndCons(pid int, e *Entry) *Node {
 	defer func() { f.lastWinner[pid] = winner }()
 	for r := lastRound + 1; r <= lastRound+int64(f.n); r++ {
 		base := f.preferOf(winner)
-		f.prefer[pid].Store(mergeWith(goal, base, sc.found, sc.resolved))
+		f.prefer[pid].Store(mergeWith(goal, base, f.decided, sc.found, sc.resolved))
 		joined++
 		w := f.decide(r, pid)
 		winner = w
@@ -226,15 +226,36 @@ func (f *ConsFAC) RoundsPerOp() float64 {
 // walk passes an entry of the same process with a smaller sequence number,
 // the probe entry cannot appear deeper.
 func merge(goal []*Entry, base *Node) *Node {
-	return mergeWith(goal, base, make([]bool, len(goal)), make([]bool, len(goal)))
+	return mergeWith(goal, base, nil, make([]bool, len(goal)), make([]bool, len(goal)))
 }
 
-// mergeWith is merge with caller-owned membership buffers (len ≥ len(goal)),
+// mergeWith is merge with caller-owned membership buffers (len ≥ len(goal))
 // so the hot path reuses per-pid scratch instead of allocating two slices
-// per consensus round. Node churn audit: the only allocations left are the
-// Cons cells for goal entries genuinely absent from base — each becomes part
-// of the proposed (and possibly decided) list, so none is avoidable.
-func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
+// per consensus round, plus the decided registers backing the truncation
+// fallback below (nil when the caller has none — untruncated unit tests).
+// Node churn audit: the only allocations left are the Cons cells for goal
+// entries genuinely absent from base — each becomes part of the proposed
+// (and possibly decided) list, so none is avoidable.
+//
+// Truncation fallback. A base truncated by the log GC (gc.go) can cut the
+// walk short at the severed anchor, hiding an already-ordered goal entry
+// whose node was retired: the goal may hold a *stale* copy of announce[p],
+// loaded before p overwrote it with its next operation, and once p (and
+// everyone else) moved past the old entry the mark can pass it and the
+// swing sever it — along with all of p's older entries that the smaller-Seq
+// rule would otherwise resolve against. Walk membership alone would then
+// re-cons the completed entry and replays would apply it twice. The decided
+// registers close the gap without any walk: an entry below the mark always
+// has an owner whose certified decided list is headed by an entry at least
+// as new (the owner's observed register can only pass an entry after the
+// owner's later operation published a newer decided head — see gc.go), so a
+// not-found goal entry g is consed only when decided[g.Pid] has not reached
+// g.Seq. For an in-flight g the owner's decided head is strictly older, so
+// the fallback never suppresses the Lemma 24 helping guarantee; and a
+// completed g missing from an *untruncated* base only happens in proposals
+// that cannot win their round (the fixed order through the previous round
+// is contained in base), where membership is irrelevant.
+func mergeWith(goal []*Entry, base *Node, decided []atomic.Pointer[Node], found, resolved []bool) *Node {
 	if len(goal) == 0 {
 		return base
 	}
@@ -244,11 +265,6 @@ func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
 	for i := range found {
 		found[i], resolved[i] = false, false
 	}
-	// A base truncated by the log GC is safe to walk: no announced entry can
-	// sit below the collective low-water mark (its owner's observed register
-	// is frozen below the entry's eventual position for the whole call, see
-	// gc.go), so a walk cut short at the anchor can only miss early-exit
-	// hints, never a membership fact.
 	for n := base; n != nil && unresolved > 0; n = n.Rest() {
 		cur := n.Entry
 		for i, g := range goal {
@@ -266,9 +282,15 @@ func mergeWith(goal []*Entry, base *Node, found, resolved []bool) *Node {
 	}
 	out := base
 	for i := len(goal) - 1; i >= 0; i-- {
-		if !found[i] {
-			out = Cons(goal[i], out)
+		if found[i] {
+			continue
 		}
+		if g := goal[i]; decided != nil {
+			if d := decided[g.Pid].Load(); d != nil && d.Entry.Seq >= g.Seq {
+				continue // g completed and is ordered; the walk missed it only by truncation
+			}
+		}
+		out = Cons(goal[i], out)
 	}
 	return out
 }

@@ -33,9 +33,13 @@ import (
 //
 //  3. Anchor swing. A single CAS on the anchor index elects at most one
 //     process to apply a new mark; the winner walks from the head to the
-//     node at the mark (the anchor node, always a snapshot-carrying entry,
-//     since every observed value is one) and severs its rest pointer,
-//     making the dead tail unreachable so Go's collector reclaims it.
+//     node at the mark (the anchor node) and severs its rest pointer,
+//     making the dead tail unreachable so Go's collector reclaims it. The
+//     anchor node always carries a snapshot: every value a register ever
+//     holds is some completed replay's stopping snapshot index (gcObserve
+//     stores them, gcAdoptFloor adopts one), and the min over them is one
+//     of them — so a replay whose walk reaches the anchor node stops there
+//     (snapshot found) and never dereferences the severed pointer.
 //
 // The mark's floor is an idle process: a pid that never replays pins the
 // log at its last published index (exactly as a Paxos peer that never
@@ -51,11 +55,17 @@ import (
 // anchor swings:
 //
 //   - Replays: bounded by their owner's observed register (>= mark).
-//   - ConsFAC merge walks: an announced entry's owner froze its register
-//     below the entry's eventual log position for the whole call, so the
-//     mark cannot pass any entry that merge must find; a truncated walk
-//     only loses early-exit hints (see mergeWith).
-//   - trim: the caller's own entry is above its own frozen register.
+//   - ConsFAC merge walks: a goal entry retired below the mark may be
+//     missing from a truncated walk, but the mark can only pass an entry
+//     after its owner published a decided list headed by an at-least-as-new
+//     entry (every register advance is in the owner's program order after
+//     its latest publish), so merge's decided-register fallback resolves
+//     the entry as present instead of re-consing it (see mergeWith). The
+//     happens-before chain runs publish → register store → min-scan load →
+//     anchor CAS → sever store → the walker's nil Rest load, so a walk cut
+//     short by a sever always sees the decided head that covers the cut.
+//   - trim: the caller's own entry is above its own register, which was
+//     last advanced before the entry was consed and is frozen for the call.
 //   - The read cache: a cached head below the mark is dropped by the epoch
 //     bump and the explicit invalidation in gcSwing.
 
@@ -86,20 +96,13 @@ type gcState struct {
 }
 
 // obsSlot is one observed-prefix register, padded to a cache line so the
-// per-operation store never bounces a neighbor's line. cap rides in the
-// padding: the index below which the register is allowed to advance,
-// maintained and read only by the owning pid (plain field, no atomics).
+// per-operation store never bounces a neighbor's line. The register holds
+// only genuine snapshot indices — a replay's own stopping point (gcObserve)
+// or an adopted gossip floor, itself some replay's stopping point
+// (gcAdoptFloor) — which is what makes the anchor node a snapshot node.
 type obsSlot struct {
 	v atomic.Int64
-	// cap is one below the log index of the pid's newest consed entry. The
-	// observed register must never reach that entry's index: ConsFAC's
-	// announce register may hold the entry long after it completed, and a
-	// later merge walk must still find it in any truncated decided list to
-	// avoid re-consing it (mergeWith's membership facts live at or below
-	// the entry). Capping here keeps the collective mark strictly below
-	// every entry any announce register can hold.
-	cap int64
-	_   [48]byte
+	_ [56]byte
 }
 
 // DefaultGCEvery is the facade's default mark-advance period (WithLogGC):
@@ -147,33 +150,15 @@ func (u *Universal) gcObserve(pid int, stop int64) {
 	if !u.gcOn() || stop == 0 {
 		return
 	}
-	// Gossip the uncapped stop: one CAS attempt to raise the shared floor;
-	// a lost race means another replay raised it concurrently, which is
-	// just as good. The floor is capped per-adopter, not here.
+	// Gossip the stop: one CAS attempt to raise the shared floor; a lost
+	// race means another replay raised it concurrently, just as good.
 	if f := u.gc.floor.Load(); stop > f {
 		u.gc.floor.CompareAndSwap(f, stop)
 	}
 	slot := &u.gc.observed[pid]
-	if stop > slot.cap {
-		stop = slot.cap // never pass the pid's own newest consed entry
-	}
 	if stop > slot.v.Load() {
 		slot.v.Store(stop)
 	}
-}
-
-// gcNoteCons records that pid just consed an entry above prior: the pid's
-// observed register is from now on capped below that entry's log index, so
-// the mark can never retire an entry that pid's announce register may still
-// expose to merge. Called by pid's own write path right after its cons.
-func (u *Universal) gcNoteCons(pid int, prior *Node) {
-	if !u.gcOn() {
-		return
-	}
-	if prior == nil {
-		return // first entry: cap stays 0
-	}
-	u.gc.observed[pid].cap = int64(prior.Len)
 }
 
 // gcAdoptFloor advances pid's observed register to the gossiped floor
@@ -188,11 +173,7 @@ func (u *Universal) gcAdoptFloor(pid int) {
 		return
 	}
 	slot := &u.gc.observed[pid]
-	f := u.gc.floor.Load()
-	if f > slot.cap {
-		f = slot.cap
-	}
-	if f > slot.v.Load() {
+	if f := u.gc.floor.Load(); f > slot.v.Load() {
 		slot.v.Store(f)
 	}
 }
@@ -200,8 +181,12 @@ func (u *Universal) gcAdoptFloor(pid int) {
 // gcAdvance computes the collective low-water mark and, if it moved,
 // swings the anchor: one bounded min-scan, one CAS electing the swinger,
 // one bounded walk to the new anchor node. Safe to call from any front
-// end at any point outside its own replay; losing the CAS means another
-// process is applying an at-least-as-fresh mark.
+// end at any point outside its own replay. Losing the CAS means a
+// concurrent advance swung first — possibly to a mark *older* than ours
+// (its min-scan ran earlier), in which case the difference stays live
+// until the next scheduled advance re-scans; retirement is delayed by at
+// most one gcEvery period per process, never lost, and the anchor stays
+// monotone (a CAS succeeds only against the exact old value it bettered).
 func (u *Universal) gcAdvance() {
 	if !u.gcOn() {
 		return
@@ -219,7 +204,7 @@ func (u *Universal) gcAdvance() {
 		return // nothing newly retirable (covers the never-replayed 0 floor)
 	}
 	if !u.gc.anchor.CompareAndSwap(old, mark) {
-		return // another process is swinging to a mark >= this one
+		return // a concurrent advance swung first; see the doc comment
 	}
 	u.gcSwing(old, mark)
 }

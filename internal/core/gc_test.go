@@ -106,27 +106,43 @@ func TestWithLogGCValidation(t *testing.T) {
 	NewUniversal(seqspec.Counter{}, NewSwapFAC(), 1, WithLogGC(0))
 }
 
-// TestObservedCapInvariant pins the stale-announce guard: a process's
-// observed-prefix register never reaches the log index of its newest consed
-// entry, so a ConsFAC announce register can never expose an entry that a
-// merge walk would have to find below the collective mark.
-func TestObservedCapInvariant(t *testing.T) {
-	const n = 2
+// TestAnchorIsSnapshotNode pins the invariant the replay-safety argument
+// leans on: every value an observed-prefix register ever holds is some
+// completed replay's stopping snapshot index, so the collective minimum —
+// the index the swing severs at — always lands on a snapshot-carrying
+// node, and a replay that walks all the way down to the anchor stops at
+// its snapshot instead of reading the severed pointer. Run with a sparse
+// snapshot schedule so the invariant is not vacuous.
+func TestAnchorIsSnapshotNode(t *testing.T) {
 	fac := NewSwapFAC()
-	u := NewUniversal(seqspec.Counter{}, fac, n, WithLogGC(1))
-	for i := 0; i < 100; i++ {
+	u := NewUniversal(seqspec.Counter{}, fac, 2, WithLogGC(1), WithSnapshotInterval(3))
+	for i := 0; i < 120; i++ {
 		u.Invoke(0, inc)
 		u.Invoke(1, inc)
-		u.Invoke(0, get) // reads advance observed[0] up to (but never past) the cap
+		u.Invoke(0, get)
 	}
-	for p := 0; p < n; p++ {
-		slot := &u.gc.observed[p]
-		if v := slot.v.Load(); v > slot.cap {
-			t.Errorf("observed[%d] = %d above its cap %d", p, v, slot.cap)
+	anchor := u.Anchor()
+	if anchor == 0 {
+		t.Fatal("no anchor swing after sequentially alternating writers")
+	}
+	var node *Node
+	for n := fac.Head(); n != nil; n = n.Rest() {
+		if int64(n.Len) == anchor {
+			node = n
+			break
 		}
 	}
-	if a, m := u.Anchor(), u.Min(); a > m {
-		t.Errorf("anchor %d above the live minimum %d", a, m)
+	if node == nil {
+		t.Fatalf("anchor node (index %d) not reachable from the head", anchor)
+	}
+	if node.Rest() != nil {
+		t.Errorf("anchor node at %d still has a tail; swing did not sever", anchor)
+	}
+	if node.Entry.snapshot.Load() == nil {
+		t.Errorf("anchor node at %d carries no snapshot; observed registers must hold only snapshot indices", anchor)
+	}
+	if m := u.Min(); anchor > m {
+		t.Errorf("anchor %d above the live minimum %d", anchor, m)
 	}
 }
 

@@ -79,7 +79,6 @@ const (
 func (u *Universal) invokeBatched(pid int, e *Entry) int64 {
 	gather := u.contended.Load() || e.Seq%gatherEvery == 0
 	prior := u.fac.FetchAndCons(pid, e)
-	u.gcNoteCons(pid, prior)
 	if resp, ok := u.awaitHelp(e, gather); ok {
 		return resp
 	}

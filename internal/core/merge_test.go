@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -146,6 +147,45 @@ func TestMergeProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMergeTruncatedBaseDecidedFallback is the log-GC regression pin: a
+// goal can hold a stale copy of announce[p], loaded before p's next
+// operation overwrote it, and the anchor swing can then retire that entry's
+// node — along with every older entry of p that the smaller-Seq rule could
+// have resolved against. The truncated walk proves nothing about the entry,
+// and merge must fall back to p's decided register instead of re-consing a
+// completed operation (which replays would apply twice).
+func TestMergeTruncatedBaseDecidedFallback(t *testing.T) {
+	old := &Entry{Pid: 0, Seq: 1}   // completed; its node retired below the anchor
+	newer := &Entry{Pid: 0, Seq: 2} // p0's next operation: the anchor node
+	other := &Entry{Pid: 1, Seq: 1}
+	base := listOf(other, newer, old) // head: other -> newer -> old
+	decided := make([]atomic.Pointer[Node], 2)
+	decided[0].Store(base.Rest()) // p0 certified through newer before the mark passed old
+	base.Rest().sever()           // the swing retires old's node
+
+	found, resolved := make([]bool, 1), make([]bool, 1)
+	merged := mergeWith([]*Entry{old}, base, decided, found, resolved)
+	if merged != base {
+		t.Fatalf("merge re-consed a retired decided entry: %v", Entries(merged))
+	}
+
+	// Control: an in-flight entry of p0 (its decided head is strictly older)
+	// must still be consed — the fallback must not suppress helping.
+	inflight := &Entry{Pid: 0, Seq: 3}
+	merged2 := mergeWith([]*Entry{inflight}, base, decided, found, resolved)
+	if merged2 == base || merged2.Entry != inflight {
+		t.Fatalf("in-flight entry not prepended: %v", Entries(merged2))
+	}
+
+	// And an owner with no certified list at all (nil register) conses too.
+	fresh := &Entry{Pid: 1, Seq: 2}
+	decidedNil := make([]atomic.Pointer[Node], 2)
+	merged3 := mergeWith([]*Entry{fresh}, base, decidedNil, found, resolved)
+	if merged3 == base || merged3.Entry != fresh {
+		t.Fatalf("entry with nil decided register not prepended: %v", Entries(merged3))
 	}
 }
 

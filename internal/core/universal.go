@@ -248,7 +248,6 @@ func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
 		return u.invokeBatched(pid, e)
 	}
 	prior := u.fac.FetchAndCons(pid, e)
-	u.gcNoteCons(pid, prior)
 	pre := u.replay(pid, prior)
 	if u.truncate && e.Seq%u.snapEvery == 0 {
 		u.stats.snapStores.Inc()
