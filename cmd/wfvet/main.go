@@ -4,17 +4,21 @@
 // analyzers — blocking-construct reachability from //wf:waitfree entry
 // points, bound certification of //wf:bounded claims, the lock-free retry
 // lint, publication release/acquire pairing, atomic/plain mixed field
-// access, and seqspec transition-function purity — and exits non-zero when
-// any claim is violated. Stale-directive warnings (under -all) are
-// reported but never fail the run.
+// access, seqspec transition-function purity, the single-writer /
+// monotone / ABA register disciplines, and symbolic step-bound
+// certification of every exported façade operation — and exits non-zero
+// when any claim is violated. Stale-directive warnings (under -all) are
+// advisory unless -strict-stale promotes unallowlisted ones to errors.
 //
 // Usage:
 //
 //	go run ./cmd/wfvet ./...          # audit the annotated claims
 //	go run ./cmd/wfvet -all ./...     # audit mode: treat every function as claiming wait-freedom
-//	go run ./cmd/wfvet -bounds ./...  # print the bounds report (verified/trusted/lockfree per directive)
+//	go run ./cmd/wfvet -bounds ./...  # bounds report + per-operation symbolic step certificates
+//	go run ./cmd/wfvet -bounds -md BOUNDS.md ./...  # also write the certificates as Markdown
 //	go run ./cmd/wfvet -json ./...    # findings as a JSON array
 //	go run ./cmd/wfvet -sarif ./...   # findings as SARIF 2.1.0, for code-scanning upload
+//	go run ./cmd/wfvet -all -strict-stale ./...     # CI: stale directives fail the run
 //	go run ./cmd/wfvet -intrapackage ./...  # PR 2 behavior: stop call resolution at package boundaries
 //
 // Exit status: 0 clean (warnings allowed), 1 violations found, 2 load failure.
@@ -38,9 +42,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings (and the bounds report) as JSON on stdout")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	intra := flag.Bool("intrapackage", false, "resolve calls within each package only (the pre-whole-program behavior)")
+	mdOut := flag.String("md", "", "write the symbolic step certificates as Markdown to this file (for committing as BOUNDS.md)")
+	strictStale := flag.Bool("strict-stale", false, "promote stale-directive warnings to errors unless allowlisted (implies -all)")
+	staleAllow := flag.String("stale-allow", "", "comma-separated allowlist of stale findings (file.go:FuncName) exempt from -strict-stale")
 	verbose := flag.Bool("v", false, "report per-package finding and type-error counts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfvet [-all] [-bounds] [-json|-sarif] [-intrapackage] [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: wfvet [-all] [-bounds] [-md file] [-strict-stale] [-stale-allow keys] [-json|-sarif] [-intrapackage] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -91,7 +98,15 @@ func main() {
 		}
 	}
 
-	conf := wfcheck.Config{All: *all, IntraPackage: *intra}
+	conf := wfcheck.Config{All: *all || *strictStale, IntraPackage: *intra, StrictStale: *strictStale}
+	if *staleAllow != "" {
+		conf.StaleAllow = make(map[string]bool)
+		for _, k := range strings.Split(*staleAllow, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				conf.StaleAllow[k] = true
+			}
+		}
+	}
 	res := conf.RunProgram(wfcheck.NewProgram(loader), targets)
 
 	switch {
@@ -105,6 +120,12 @@ func main() {
 		}
 		if *bounds {
 			printBounds(cwd, res.Bounds)
+			printOps(res.Ops)
+		}
+	}
+	if *mdOut != "" {
+		if err := os.WriteFile(*mdOut, boundsMarkdown(res.Ops), 0o644); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -155,6 +176,80 @@ func printBounds(cwd string, records []wfcheck.BoundRecord) {
 		counts[wfcheck.BoundLockFree], counts[wfcheck.BoundContradicted])
 }
 
+// printOps renders the symbolic step certificates: one line per exported
+// façade operation with its worst-case bound and certification status.
+func printOps(ops []wfcheck.OpCert) {
+	if len(ops) == 0 {
+		return
+	}
+	fmt.Println("symbolic step certificates:")
+	for _, c := range ops {
+		fmt.Printf("  %-10s %-14s %s — %s\n", c.Status, c.Bound, c.Op, c.Basis)
+	}
+}
+
+// paramGloss documents the symbolic parameters the tree declares via
+// //wf:param and //wf:len; certificates over parameters outside this table
+// still render, glossed by their declaration.
+var paramGloss = map[string]string{
+	"n": "number of processes (MaxProcs)",
+	"k": "snapshot interval: operations between decided-log snapshots",
+	"S": "shard count of a sharded object",
+	"B": "help-spin budget before a process helps itself",
+	"g": "GC interval: operations between log-GC anchor swings",
+	"M": "registered metrics in a wfstats registry",
+	"C": "live-sample cap of the space accountant",
+}
+
+// boundsMarkdown renders the certificates as the committed BOUNDS.md: a
+// deterministic document CI regenerates and diffs, so any change to a
+// certified bound must land as a reviewed diff.
+func boundsMarkdown(ops []wfcheck.OpCert) []byte {
+	var b strings.Builder
+	b.WriteString("# Worst-case step certificates\n\n")
+	b.WriteString("Generated by `go run ./cmd/wfvet -bounds -md BOUNDS.md ./...` — do not\n")
+	b.WriteString("edit by hand. CI regenerates this file and fails on drift, so every\n")
+	b.WriteString("change to a certified bound lands as a reviewed diff.\n\n")
+	b.WriteString("Each row is an exported operation reachable from the module façade and\n")
+	b.WriteString("its symbolic worst-case step bound: the wait-freedom guarantee, stated\n")
+	b.WriteString("as a polynomial over the protocol parameters. `verified` bounds are\n")
+	b.WriteString("machine-derived end to end; `trusted` bounds rest on at least one\n")
+	b.WriteString("declared fact (a `//wf:steps` contract or a `[expr]` loop bracket).\n\n")
+
+	params := make(map[string]bool)
+	for _, c := range ops {
+		for _, p := range c.Poly.Params() {
+			params[p] = true
+		}
+	}
+	if len(params) > 0 {
+		names := make([]string, 0, len(params))
+		for p := range params {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		b.WriteString("| parameter | meaning |\n|---|---|\n")
+		for _, p := range names {
+			gloss := paramGloss[p]
+			if gloss == "" {
+				gloss = "declared via //wf:param"
+			}
+			fmt.Fprintf(&b, "| `%s` | %s |\n", p, gloss)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("| operation | bound | status |\n|---|---|---|\n")
+	for _, c := range ops {
+		fmt.Fprintf(&b, "| `%s` | `%s` | %s |\n", c.Op, c.Bound, c.Status)
+	}
+	b.WriteString("\n## Certification basis\n\n")
+	for _, c := range ops {
+		fmt.Fprintf(&b, "- `%s` — %s\n", c.Op, c.Basis)
+	}
+	return []byte(b.String())
+}
+
 // jsonFinding is one diagnostic in -json output.
 type jsonFinding struct {
 	File     string `json:"file"`
@@ -176,12 +271,22 @@ type jsonBound struct {
 	Detail string `json:"detail"`
 }
 
-// writeJSON emits the findings (and, when requested, the bounds report) as
-// one JSON object, filenames relative to the working directory.
+// jsonOp is one symbolic step certificate in -json output.
+type jsonOp struct {
+	Op     string `json:"op"`
+	Bound  string `json:"bound"`
+	Status string `json:"status"`
+	Basis  string `json:"basis"`
+}
+
+// writeJSON emits the findings (and, when requested, the bounds report and
+// step certificates) as one JSON object, filenames relative to the working
+// directory.
 func writeJSON(cwd string, res *wfcheck.Result, withBounds bool) {
 	out := struct {
 		Findings []jsonFinding `json:"findings"`
 		Bounds   []jsonBound   `json:"bounds,omitempty"`
+		Ops      []jsonOp      `json:"ops,omitempty"`
 	}{Findings: []jsonFinding{}}
 	for _, d := range res.Diags {
 		sev := "error"
@@ -199,6 +304,9 @@ func writeJSON(cwd string, res *wfcheck.Result, withBounds bool) {
 				File: relPath(cwd, r.Pos.Filename), Line: r.Pos.Line,
 				Pkg: r.Pkg, Scope: r.Scope, Status: string(r.Status), Arg: r.Arg, Detail: r.Detail,
 			})
+		}
+		for _, c := range res.Ops {
+			out.Ops = append(out.Ops, jsonOp{Op: c.Op, Bound: c.Bound, Status: string(c.Status), Basis: c.Basis})
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -238,14 +346,18 @@ func writeSARIF(cwd string, res *wfcheck.Result) {
 	}
 
 	ruleDescs := map[string]string{
-		"annot":     "malformed or conflicting //wf: directive",
-		"blocking":  "blocking construct reachable from a wait-free entry point",
-		"boundcert": "wf:bounded claim audit",
-		"progress":  "lock-free retry loop in wait-free code",
-		"pubsafety": "publication read without the acquiring atomic load",
-		"atomicmix": "field accessed both atomically and plainly",
-		"specpure":  "nondeterminism in a seqspec transition function",
-		"stale":     "directive no analyzer needs any more",
+		"annot":        "malformed or conflicting //wf: directive",
+		"blocking":     "blocking construct reachable from a wait-free entry point",
+		"boundcert":    "wf:bounded claim audit",
+		"progress":     "lock-free retry loop in wait-free code",
+		"pubsafety":    "publication read without the acquiring atomic load",
+		"atomicmix":    "field accessed both atomically and plainly",
+		"specpure":     "nondeterminism in a seqspec transition function",
+		"symbound":     "exported operation without a finite symbolic step certificate",
+		"singlewriter": "foreign write to a single-writer per-process slot",
+		"monotone":     "write to a monotone register not provably non-decreasing",
+		"abasafe":      "pointer compare-and-swap without ABA protection",
+		"stale":        "directive no analyzer needs any more",
 	}
 	seen := make(map[string]bool)
 	var rules []sarifRule

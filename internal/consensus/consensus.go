@@ -27,6 +27,7 @@ type Object interface {
 	// in [0, n); each pid may call Decide at most once.
 	//
 	//wf:bounded contract: a consensus object is the primitive of Theorem 7 — Decide runs in a bounded number of the caller's own steps; the message-passing and randomized protocols built to demonstrate impossibility opt out with wf:blocking
+	//wf:steps n
 	Decide(pid int, input int64) int64
 }
 

@@ -25,22 +25,38 @@ import (
 // because some process won twice in between and its second goal included
 // this process's announcement (Lemma 24's argument).
 type ConsFAC struct {
-	n        int
+	//wf:param n
+	n int
+	// announce, round and prefer are the paper's per-process single-writer
+	// registers: slot pid is stored only by pid's own FetchAndCons.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	announce []atomic.Pointer[Entry]
-	round    []atomic.Int64
-	prefer   []atomic.Pointer[Node]
-	rounds   *roundArray
+	//wf:len n
+	//wf:singlewriter pid
+	round []atomic.Int64
+	//wf:len n
+	//wf:singlewriter pid
+	prefer []atomic.Pointer[Node]
+	rounds *roundArray
 
 	// decided[p] is a single-writer register holding the longest list p has
 	// *certified* as decided: the suffix of a coherent view headed by p's
 	// own entry. p stores it before its fetch-and-cons returns, so a scan of
 	// decided[] sees every completed operation; prefer[] would not do — it
 	// transiently holds proposals whose head entries are not yet ordered.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	decided []atomic.Pointer[Node]
 
 	// lastWinner[p] is the paper's persistent per-process local variable
 	// "winner": the winner of the last round p participated in (-1 before
 	// any). Only process p accesses entry p.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	lastWinner []int
 
 	// scratch[p] holds p's reusable goal and merge buffers. Processes call
@@ -48,6 +64,9 @@ type ConsFAC struct {
 	// buffers removes the three per-call allocations (goal, found, resolved)
 	// from the write hot path. Nothing built in them outlives the call:
 	// merge copies goal entries into fresh list nodes.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	scratch []facScratch
 
 	// decisions counts consensus rounds joined, for the Corollary 27
@@ -83,15 +102,18 @@ func NewConsFAC(n int, factory consensus.Factory) *ConsFAC {
 		lastWinner: make([]int, n),
 		scratch:    make([]facScratch, n),
 	}
-	for p := range f.scratch {
-		f.scratch[p] = facScratch{
+	// The loop variable is each slot's owning pid: construction happens
+	// before the object escapes, but writing through the owner index keeps
+	// the single-writer discipline checkable end to end.
+	for pid := range f.scratch {
+		f.scratch[pid] = facScratch{
 			goal:     make([]*Entry, 0, n),
 			found:    make([]bool, n),
 			resolved: make([]bool, n),
 		}
 	}
-	for p := range f.lastWinner {
-		f.lastWinner[p] = -1
+	for pid := range f.lastWinner {
+		f.lastWinner[pid] = -1
 	}
 	return f
 }

@@ -134,6 +134,7 @@ type FetchAndCons interface {
 	// entries that precede e in linearization order, newest first).
 	//
 	//wf:bounded contract: implementations must complete in O(n) of the caller's own steps (Corollary 27); demo harnesses that stall on purpose opt out with wf:blocking and answer to their own drivers
+	//wf:steps n
 	FetchAndCons(pid int, e *Entry) *Node
 
 	// Observe returns a decided list: a prefix of the object's linearization
@@ -145,6 +146,7 @@ type FetchAndCons interface {
 	// concurrently from any goroutine. Returns nil while the log is empty.
 	//
 	//wf:bounded contract: implementations must answer from already-decided state in O(n) loads without consuming a cons; stalling demo harnesses opt out with wf:blocking
+	//wf:steps n
 	Observe() *Node
 }
 

@@ -75,6 +75,9 @@ type gcState struct {
 	// index of the newest snapshot p's replays are promised to stop at or
 	// above. Slots are cache-line padded like wfstats.StripedCounter: the
 	// store is on the write path of every operation.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	observed []obsSlot
 
 	// floor is the best-effort gossip register: the highest snapshot index
@@ -82,16 +85,22 @@ type gcState struct {
 	// CAS attempt (losing just means someone raised it concurrently), read
 	// by the helped path to advance without replaying. It never enters the
 	// min-scan directly — observed[] alone guards in-flight walks.
+	//
+	//wf:monotone
 	floor atomic.Int64
 
 	// anchor is the applied low-water mark: the log index of the anchor
 	// node, below which everything is severed. Entries strictly below it
 	// (anchor-1 of them) are retired. CAS-advanced; 0 = nothing retired.
+	//
+	//wf:monotone
 	anchor atomic.Int64
 
 	// epoch counts anchor swings. The read cache stores the epoch it was
 	// built under and misses on a stale one, so a retired tail is never
 	// pinned past the swing that retired it.
+	//
+	//wf:monotone
 	epoch atomic.Int64
 }
 
@@ -101,6 +110,7 @@ type gcState struct {
 // or an adopted gossip floor, itself some replay's stopping point
 // (gcAdoptFloor) — which is what makes the anchor node a snapshot node.
 type obsSlot struct {
+	//wf:monotone
 	v atomic.Int64
 	_ [56]byte
 }
@@ -216,7 +226,7 @@ func (u *Universal) gcAdvance() {
 func (u *Universal) gcSwing(old, mark int64) {
 	head := u.fac.Observe()
 	scanned := int64(0)
-	//wf:bounded walks head down to the anchor node: at most the live region, O(n·snapEvery) plus the entries announced since the last advance (the mark is below every in-flight walk, so the anchor node is reachable unless a newer swing already cut above it)
+	//wf:bounded [n*k + n*g] walks head down to the anchor node: at most the live region, O(n·snapEvery) plus the entries announced since the last advance (the mark is below every in-flight walk, so the anchor node is reachable unless a newer swing already cut above it)
 	for n := head; ; n = n.Rest() {
 		if n == nil {
 			break // empty log, or a newer swing already severed above mark

@@ -55,6 +55,8 @@ const (
 	// Sized to roughly one executor pass (a short replay plus one state
 	// clone); the window is entered only when a newer entry already sits
 	// above the writer's own, so it is usually answered well before expiry.
+	//
+	//wf:param B
 	helpSpinBudget = 4096
 	// helpYieldEvery spaces runtime.Gosched calls through the window so the
 	// executor gets scheduled even at GOMAXPROCS=1. Eager yielding is

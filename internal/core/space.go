@@ -29,6 +29,7 @@ func LiveRegion(head *Node, n int) (length int, bounded bool) {
 // snapshotted entries may never occur. limit < 0 means no cap.
 func liveRegionCapped(head *Node, n, limit int) (length int, bounded bool) {
 	consecutive := 0
+	//wf:bounded [C] the gauge sampler's walk budget: the loop saturates at limit (the live-sample cap) on the hot path; the uncapped limit<0 form is test- and report-only, where the reachable list is finite
 	for node := head; node != nil; node = node.Rest() {
 		if length == limit {
 			return length, false

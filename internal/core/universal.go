@@ -26,14 +26,26 @@ import (
 // last snapshot is garbage (reclaimed by GC; the paper's manual reclamation
 // argument bounds live storage at O(n^2)).
 type Universal struct {
-	seq       seqspec.Object
-	fac       FetchAndCons
-	truncate  bool
+	seq      seqspec.Object
+	fac      FetchAndCons
+	truncate bool
+	// snapEvery is the snapshot interval k of WithSnapshotInterval.
+	//
+	//wf:param k
 	snapEvery int64
 	fastRead  bool
 	batch     bool
-	gcEvery   int64 // mark-advance period per process; 0 = log GC off
-	seqs      []atomic.Int64
+	// gcEvery is the mark-advance period per process; 0 = log GC off.
+	//
+	//wf:param g
+	gcEvery int64
+
+	// seqs holds each pid's operation sequence number; slot pid is written
+	// only by pid's own front end (the sequential-use contract).
+	//
+	//wf:len n
+	//wf:singlewriter pid
+	seqs []atomic.Int64
 
 	// gc is the low-water-mark log truncation machinery (see gc.go):
 	// per-pid observed-prefix registers, the gossip floor, and the applied
@@ -51,6 +63,9 @@ type Universal struct {
 	// scratch holds per-pid replay buffers. Each pid invokes sequentially
 	// (the front-end contract), so slot pid has a single writer and replays
 	// reuse one pending buffer instead of growing a fresh slice per call.
+	//
+	//wf:len n
+	//wf:singlewriter pid
 	scratch []replayScratch
 
 	// lastRead caches the state reconstructed by the most recent fast read,
@@ -112,6 +127,13 @@ type universalStats struct {
 	// liveRegion gauges the Section 4.1 live region (see LiveRegion),
 	// sampled at every liveSampleEvery-th snapshot store per process.
 	liveRegion *wfstats.Gauge
+	// opSteps is the runtime cross-check of wfvet's symbolic certificates:
+	// per replay, the log nodes walked plus the entries applied plus the
+	// constant per-operation overhead (cons or observe, own apply, snapshot
+	// bookkeeping) — the concrete instantiation of the O(n·k) terms in the
+	// certified Invoke bound. A test evaluates the certificate at the
+	// experiment's n and k and asserts this histogram's max stays under it.
+	opSteps *wfstats.Histogram
 }
 
 // replayScratch is one pid's reusable replay buffer (single writer: the
@@ -220,6 +242,7 @@ func NewUniversal(seq seqspec.Object, fac FetchAndCons, n int, opts ...Option) *
 		logLen:     u.metrics.Gauge("universal.log_len"),
 		gcScanLen:  u.metrics.Histogram("universal.gc_scan_len"),
 		liveRegion: u.metrics.Gauge("universal.live_region"),
+		opSteps:    u.metrics.Histogram("universal.op_steps"),
 	}
 	return u
 }
@@ -271,7 +294,10 @@ func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
 // write, amortized; any healthy GC-on live region sits well under the cap.
 const (
 	liveSampleEvery = 64
-	liveSampleCap   = 512
+	// liveSampleCap is the symbolic walk budget C of a live-region sample.
+	//
+	//wf:param C
+	liveSampleCap = 512
 )
 
 // sampleLiveRegion refreshes the live-region gauge from a snapshot-store
@@ -322,7 +348,7 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 	var state seqspec.State
 	published := 0
 	stop := int64(0) // log index of the snapshot the walk stopped at
-	//wf:bounded walks to the first snapshotted entry: at most snapEvery un-snapshotted entries per live process (Section 4.1's strong wait-freedom bound), or the whole finite list without truncation
+	//wf:bounded [n*k] walks to the first snapshotted entry: at most snapEvery un-snapshotted entries per live process (Section 4.1's strong wait-freedom bound), or the whole finite list without truncation
 	for n := list; ; n = n.Rest() {
 		if n == nil {
 			state = u.seq.Init()
@@ -340,6 +366,7 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 		}
 		pending = append(pending, n.Entry)
 	}
+	//wf:bounded [n*k] drains the pending buffer the walk above gathered, one Apply per un-snapshotted entry — same Section 4.1 bound, paid a second time
 	for i := len(pending) - 1; i >= 0; i-- {
 		resp := state.Apply(pending[i].Op)
 		if help {
@@ -349,6 +376,11 @@ func (u *Universal) replayPublish(pid int, list *Node, help bool) (seqspec.State
 
 	sc.pending = pending
 	u.stats.replayLen.Observe(int64(len(pending)))
+	// Step accounting for the certificate cross-check: the walk visited
+	// len(pending) nodes plus its stopping node, the drain applied
+	// len(pending) entries, and the operation around this replay spends a
+	// constant on its cons or observe, its own apply, and publication.
+	u.stats.opSteps.Observe(2*int64(len(pending)) + 4)
 	u.gcObserve(pid, stop)
 	return state, published
 }

@@ -51,10 +51,18 @@ func (o Op) Arg(i int) int64 {
 const Empty int64 = -1 << 62
 
 // Object is a deterministic sequential object type.
+// The //wf:steps 1 contracts below declare the paper's unit-cost model:
+// the universal construction's step bounds count sequential-object calls as
+// single steps, so an implementation whose Apply or Clone is super-constant
+// scales every certified bound by that factor.
 type Object interface {
 	// Name identifies the type.
+	//
+	//wf:steps 1
 	Name() string
 	// Init returns a fresh initial state.
+	//
+	//wf:steps 1
 	Init() State
 	// ReadOnly reports whether op never mutates any state: Apply(op) must
 	// return the same response and leave the state bit-identical no matter
@@ -63,6 +71,8 @@ type Object interface {
 	// cons or storing a snapshot — and may apply them to shared,
 	// no-longer-cloned states, so a classification that admits a mutating
 	// op is a data race, not just a performance bug.
+	//
+	//wf:steps 1
 	ReadOnly(op Op) bool
 }
 
@@ -79,10 +89,16 @@ type State interface {
 	// invoker returns that value as its own. Two replicas replaying the same
 	// prefix must therefore compute bit-identical responses and states (the
 	// cross-spec determinism test in contract_test.go enforces both).
+	//
+	//wf:steps 1
 	Apply(op Op) int64
 	// Clone returns an independent deep copy.
+	//
+	//wf:steps 1
 	Clone() State
 	// Key returns a canonical encoding for memoization and equality.
+	//
+	//wf:steps 1
 	Key() string
 }
 

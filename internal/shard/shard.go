@@ -60,11 +60,17 @@ func KVRouter(op seqspec.Op) (int64, bool) {
 
 // Sharded fans operations across independent Universal instances.
 type Sharded struct {
+	//wf:len S
 	shards []*core.Universal
-	route  Router
+	// route classifies one operation: a hash and a branch, no iteration.
+	//
+	//wf:steps 1
+	route Router
 
 	// shardOps[i] counts operations routed to shard i; crossOps counts
 	// cross-shard fan-outs. Nil entries (the default) are the no-op mode.
+	//
+	//wf:len S
 	shardOps []*wfstats.Counter
 	crossOps *wfstats.Counter
 }
@@ -103,6 +109,7 @@ func (s *Sharded) Instrument(reg *wfstats.Registry) {
 	ops := append([]*wfstats.Counter(nil), s.shardOps...)
 	reg.GaugeFunc("shard.imbalance_pct", func() int64 {
 		var max, total int64
+		//wf:bounded [S] one load per shard stripe: ops is a fixed-length copy of the S per-shard counters
 		for _, c := range ops {
 			v := c.Load()
 			total += v

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -38,7 +39,52 @@ func (m Mode) String() string {
 type Directive struct {
 	Mode Mode
 	Arg  string // reason for wf:blocking/wf:lockfree, bound for wf:bounded
+	// Steps is the symbolic trip count from an optional leading [expr]
+	// bracket on a loop-line wf:bounded / wf:lockfree argument — the bound
+	// the symbolic step algebra charges the loop. Empty when no bracket.
+	Steps string
+	Pos   token.Pos
+}
+
+// StepsAnn is a declared symbolic step bound (//wf:steps <expr>) on a
+// function, interface method, or func-typed field: the cost the symbolic
+// engine charges a call instead of walking the callee.
+type StepsAnn struct {
+	Expr string
 	Pos  token.Pos
+}
+
+// FieldAnn collects the register-discipline and symbolic-bound annotations
+// attached to one struct field or package-level const/var name.
+type FieldAnn struct {
+	// SingleWriter names the owner index identifier (//wf:singlewriter pid):
+	// element stores through this field must index by that identifier.
+	SingleWriter string
+	// Monotone marks an atomic register whose stored values must be provably
+	// non-decreasing (//wf:monotone).
+	Monotone bool
+	// ABAGuard records the reasoned ABA protection of a CAS target
+	// (//wf:abaguard <reason>).
+	ABAGuard string
+	// Len names the parameter a slice field's length equals (//wf:len n).
+	Len string
+	// Param names the symbolic parameter this const or field's value is
+	// (//wf:param k).
+	Param string
+	// Steps is a declared symbolic cost for calls through a func-typed field
+	// (//wf:steps <expr>).
+	Steps string
+	Pos   token.Pos
+}
+
+// Waiver is one //wf:waiver <analyzer> <reason> directive: a reasoned,
+// line-scoped exemption from a register-discipline analyzer. A waiver no
+// analyzer consumes is itself an error.
+type Waiver struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	used     bool
 }
 
 // Annotations holds every wf: directive parsed from a package's non-test
@@ -53,6 +99,12 @@ type Annotations struct {
 	// the interface. Without one, interface calls fan out to every
 	// in-module implementation.
 	Methods map[*ast.Ident]*Directive
+	// Steps maps function declarations and interface-method names to their
+	// declared symbolic step bounds.
+	Steps map[*ast.Ident]*StepsAnn
+	// Fields maps annotated struct-field and const/var names to their
+	// register-discipline annotations.
+	Fields map[*ast.Ident]*FieldAnn
 	// Errors reports conflicting, malformed or unknown directives.
 	Errors []Diagnostic
 
@@ -63,6 +115,9 @@ type Annotations struct {
 	// own line. The boundcert pass checks that each of these attaches to a
 	// loop.
 	loopDirs map[string]map[int]*Directive
+	// waivers records //wf:waiver comments by file and line; analyzers
+	// consume them through Waive, and UnusedWaivers reports the leftovers.
+	waivers map[string]map[int][]*Waiver
 }
 
 // Effective resolves the directive governing fd: its own annotation if
@@ -108,20 +163,67 @@ func (a *Annotations) loopDirectives() []*Directive {
 	return out
 }
 
+// Waive consumes a waiver covering pos for the named analyzer — on the same
+// line as the finding or the line directly above — and reports whether one
+// was found.
+func (a *Annotations) Waive(pos token.Position, analyzer string) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, w := range a.waivers[pos.Filename][line] {
+			if w.Analyzer == analyzer {
+				w.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnusedWaivers returns every waiver no analyzer consumed, in position
+// order. A dead waiver is an error: it can never silently outlive the
+// finding it excused.
+func (a *Annotations) UnusedWaivers() []*Waiver {
+	var out []*Waiver
+	for _, lines := range a.waivers {
+		for _, ws := range lines {
+			for _, w := range ws {
+				if !w.used {
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// extraDir is one parsed non-mode directive (wf:steps, wf:param, wf:len,
+// wf:singlewriter, wf:monotone, wf:abaguard, wf:waiver). Attachment rules
+// depend on the declaration kind and are enforced by the caller.
+type extraDir struct {
+	verb string
+	arg  string
+	pos  token.Pos
+}
+
 // parseAnnotations extracts wf: directives from the files' comments.
 func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	a := &Annotations{
 		Funcs:    make(map[*ast.FuncDecl]*Directive),
 		Methods:  make(map[*ast.Ident]*Directive),
+		Steps:    make(map[*ast.Ident]*StepsAnn),
+		Fields:   make(map[*ast.Ident]*FieldAnn),
 		fset:     fset,
 		loopDirs: make(map[string]map[int]*Directive),
+		waivers:  make(map[string]map[int][]*Waiver),
 	}
 	for _, f := range files {
 		// Doc comment groups carry declaration-level directives; everything
-		// else is a candidate loop-line directive. Separating the two is what
-		// lets boundcert flag a loop-line directive that attaches to nothing.
+		// else is a candidate loop-line directive or waiver. Separating the
+		// two is what lets boundcert flag a loop-line directive that attaches
+		// to nothing.
 		docGroups := map[*ast.CommentGroup]bool{f.Doc: true}
-		var ifaceMethods []*ast.Field
+		var ifaceMethods, structFields []*ast.Field
+		var valueSpecs []*ast.ValueSpec
 		for _, decl := range f.Decls {
 			switch decl := decl.(type) {
 			case *ast.FuncDecl:
@@ -129,31 +231,44 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 			case *ast.GenDecl:
 				docGroups[decl.Doc] = true
 				for _, spec := range decl.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					docGroups[ts.Doc] = true
-					it, ok := ts.Type.(*ast.InterfaceType)
-					if !ok {
-						continue
-					}
-					for _, m := range it.Methods.List {
-						if m.Doc != nil && len(m.Names) == 1 {
-							docGroups[m.Doc] = true
-							ifaceMethods = append(ifaceMethods, m)
+					switch spec := spec.(type) {
+					case *ast.ValueSpec:
+						docGroups[spec.Doc] = true
+						docGroups[spec.Comment] = true
+						valueSpecs = append(valueSpecs, spec)
+					case *ast.TypeSpec:
+						docGroups[spec.Doc] = true
+						switch t := spec.Type.(type) {
+						case *ast.InterfaceType:
+							for _, m := range t.Methods.List {
+								if len(m.Names) != 1 {
+									continue
+								}
+								docGroups[m.Doc] = true
+								docGroups[m.Comment] = true
+								ifaceMethods = append(ifaceMethods, m)
+							}
+						case *ast.StructType:
+							for _, fl := range t.Fields.List {
+								docGroups[fl.Doc] = true
+								docGroups[fl.Comment] = true
+								structFields = append(structFields, fl)
+							}
 						}
 					}
 				}
 			}
 		}
-		// Record loop-line wf:bounded/wf:lockfree comments, and catch
-		// malformed directives anywhere in the file. Errors from this sweep
-		// are deduplicated below against the doc-comment passes, which parse
-		// the same groups again.
+		// Record loop-line wf:bounded/wf:lockfree comments and line-scoped
+		// waivers; any other discipline directive outside a doc comment is
+		// misplaced.
 		for _, cg := range f.Comments {
-			for _, d := range a.parseGroup(cg) {
-				if docGroups[cg] || (d.Mode != ModeBounded && d.Mode != ModeLockFree) {
+			if docGroups[cg] {
+				continue
+			}
+			dirs, extras := a.parseGroup(cg)
+			for _, d := range dirs {
+				if d.Mode != ModeBounded && d.Mode != ModeLockFree {
 					continue
 				}
 				p := fset.Position(d.Pos)
@@ -162,38 +277,76 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				}
 				a.loopDirs[p.Filename][p.Line] = d
 			}
+			for _, x := range extras {
+				if x.verb == "waiver" {
+					a.recordWaiver(x)
+					continue
+				}
+				a.errorf(x.pos, "wf:%s must sit in a declaration's doc comment", x.verb)
+			}
 		}
 		// Package-level directives sit on the package clause's doc comment.
-		for _, d := range a.parseGroup(f.Doc) {
+		pkgDirs, pkgExtras := a.parseGroup(f.Doc)
+		for _, d := range pkgDirs {
 			if a.Pkg == nil {
 				a.Pkg = d
 			} else if a.Pkg.Mode != d.Mode {
 				a.errorf(d.Pos, "package %s: conflicting %s and %s directives", f.Name.Name, a.Pkg.Mode, d.Mode)
 			}
 		}
+		for _, x := range pkgExtras {
+			a.errorf(x.pos, "wf:%s is not valid on a package clause", x.verb)
+		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
 				continue
 			}
-			for _, d := range a.parseGroup(fd.Doc) {
+			dirs, extras := a.parseGroup(fd.Doc)
+			for _, d := range dirs {
 				if prev := a.Funcs[fd]; prev == nil {
 					a.Funcs[fd] = d
 				} else if prev.Mode != d.Mode {
 					a.errorf(d.Pos, "func %s: conflicting %s and %s directives", fd.Name.Name, prev.Mode, d.Mode)
 				}
 			}
+			for _, x := range extras {
+				switch x.verb {
+				case "steps":
+					a.setSteps(fd.Name, x)
+				case "waiver":
+					a.errorf(x.pos, "wf:waiver attaches to the waived statement line, not a declaration")
+				default:
+					a.errorf(x.pos, "wf:%s is not valid on a function declaration", x.verb)
+				}
+			}
 		}
 		// Interface-method directives: the contract a dispatch site trusts.
 		for _, m := range ifaceMethods {
 			name := m.Names[0]
-			for _, d := range a.parseGroup(m.Doc) {
-				if prev := a.Methods[name]; prev == nil {
-					a.Methods[name] = d
-				} else if prev.Mode != d.Mode {
-					a.errorf(d.Pos, "interface method %s: conflicting %s and %s directives", name.Name, prev.Mode, d.Mode)
+			for _, cg := range []*ast.CommentGroup{m.Doc, m.Comment} {
+				dirs, extras := a.parseGroup(cg)
+				for _, d := range dirs {
+					if prev := a.Methods[name]; prev == nil {
+						a.Methods[name] = d
+					} else if prev.Mode != d.Mode {
+						a.errorf(d.Pos, "interface method %s: conflicting %s and %s directives", name.Name, prev.Mode, d.Mode)
+					}
+				}
+				for _, x := range extras {
+					if x.verb == "steps" {
+						a.setSteps(name, x)
+					} else {
+						a.errorf(x.pos, "wf:%s is not valid on an interface method", x.verb)
+					}
 				}
 			}
+		}
+		for _, fl := range structFields {
+			a.parseDeclGroups(fl.Names, fl.Doc, fl.Comment, "struct field")
+		}
+		for _, vs := range valueSpecs {
+			a.parseDeclGroups(vs.Names, vs.Doc, vs.Comment, "const/var declaration")
 		}
 	}
 	seen := make(map[Diagnostic]bool, len(a.Errors))
@@ -208,14 +361,118 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	return a
 }
 
+// parseDeclGroups applies the doc and trailing comment groups of one field
+// or value spec: register-discipline directives attach to the declared
+// names; mode directives do not belong here.
+func (a *Annotations) parseDeclGroups(names []*ast.Ident, doc, line *ast.CommentGroup, kind string) {
+	for _, cg := range []*ast.CommentGroup{doc, line} {
+		dirs, extras := a.parseGroup(cg)
+		for _, d := range dirs {
+			a.errorf(d.Pos, "%s is not valid on a %s", d.Mode, kind)
+		}
+		for _, x := range extras {
+			a.applyFieldExtra(names, x)
+		}
+	}
+}
+
+// applyFieldExtra attaches one register-discipline directive to the
+// declared names of a field or value spec.
+func (a *Annotations) applyFieldExtra(names []*ast.Ident, x extraDir) {
+	switch x.verb {
+	case "waiver":
+		a.errorf(x.pos, "wf:waiver attaches to the waived statement line, not a declaration")
+		return
+	case "param", "len", "singlewriter":
+		if !token.IsIdentifier(x.arg) {
+			a.errorf(x.pos, "wf:%s argument must be a single identifier, got %q", x.verb, x.arg)
+			return
+		}
+	case "steps":
+		if _, err := parseSteps(x.arg); err != nil {
+			a.errorf(x.pos, "wf:steps: %v", err)
+			return
+		}
+	}
+	for _, name := range names {
+		fa := a.Fields[name]
+		if fa == nil {
+			fa = &FieldAnn{}
+			a.Fields[name] = fa
+		}
+		switch x.verb {
+		case "singlewriter":
+			fa.SingleWriter = x.arg
+		case "monotone":
+			fa.Monotone = true
+		case "abaguard":
+			fa.ABAGuard = x.arg
+		case "len":
+			fa.Len = x.arg
+		case "param":
+			fa.Param = x.arg
+		case "steps":
+			fa.Steps = x.arg
+		}
+		fa.Pos = x.pos
+	}
+}
+
+// setSteps records a declared symbolic step bound on a function or
+// interface-method name.
+func (a *Annotations) setSteps(name *ast.Ident, x extraDir) {
+	if _, err := parseSteps(x.arg); err != nil {
+		a.errorf(x.pos, "wf:steps: %v", err)
+		return
+	}
+	if prev := a.Steps[name]; prev != nil && prev.Expr != x.arg {
+		a.errorf(x.pos, "%s: conflicting wf:steps expressions %q and %q", name.Name, prev.Expr, x.arg)
+		return
+	}
+	a.Steps[name] = &StepsAnn{Expr: x.arg, Pos: x.pos}
+}
+
+// recordWaiver indexes one //wf:waiver <analyzer> <reason> by file and line.
+func (a *Annotations) recordWaiver(x extraDir) {
+	analyzer, reason, _ := strings.Cut(x.arg, " ")
+	reason = strings.TrimSpace(reason)
+	switch analyzer {
+	case "singlewriter", "monotone", "abasafe":
+	default:
+		a.errorf(x.pos, "wf:waiver analyzer must be singlewriter, monotone or abasafe, got %q", analyzer)
+		return
+	}
+	if reason == "" {
+		a.errorf(x.pos, "wf:waiver requires a reason after the analyzer name")
+		return
+	}
+	p := a.fset.Position(x.pos)
+	if a.waivers[p.Filename] == nil {
+		a.waivers[p.Filename] = make(map[int][]*Waiver)
+	}
+	a.waivers[p.Filename][p.Line] = append(a.waivers[p.Filename][p.Line], &Waiver{Analyzer: analyzer, Reason: reason, Pos: x.pos})
+}
+
+// extraArgName names the required argument of each discipline verb, for
+// missing-argument errors.
+var extraArgName = map[string]string{
+	"steps":        "a symbolic step expression",
+	"param":        "a parameter name",
+	"len":          "a parameter name",
+	"singlewriter": "the owner index identifier",
+	"abaguard":     "a reason",
+	"waiver":       "an analyzer name and a reason",
+}
+
 // parseGroup extracts the directives of one comment group, recording
 // malformed ones as errors. Only line comments with no space after //
 // count, matching the //go: directive convention; `// wf:waitfree` is prose.
-func (a *Annotations) parseGroup(cg *ast.CommentGroup) []*Directive {
+func (a *Annotations) parseGroup(cg *ast.CommentGroup) ([]*Directive, []extraDir) {
 	if cg == nil {
-		return nil
+		return nil, nil
 	}
-	var out []*Directive
+	var dirs []*Directive
+	var extras []extraDir
 	for _, c := range cg.List {
 		body, ok := strings.CutPrefix(c.Text, "//wf:")
 		if !ok {
@@ -232,23 +489,54 @@ func (a *Annotations) parseGroup(cg *ast.CommentGroup) []*Directive {
 			if arg == "" {
 				a.errorf(c.Pos(), "wf:blocking requires a reason")
 			}
-		case "bounded":
-			d.Mode = ModeBounded
-			if arg == "" {
-				a.errorf(c.Pos(), "wf:bounded requires a stated bound")
+		case "bounded", "lockfree":
+			if verb == "bounded" {
+				d.Mode = ModeBounded
+			} else {
+				d.Mode = ModeLockFree
 			}
-		case "lockfree":
-			d.Mode = ModeLockFree
-			if arg == "" {
-				a.errorf(c.Pos(), "wf:lockfree requires a reason")
+			d.Steps, d.Arg = a.splitSteps(c.Pos(), arg)
+			if d.Arg == "" {
+				if verb == "bounded" {
+					a.errorf(c.Pos(), "wf:bounded requires a stated bound")
+				} else {
+					a.errorf(c.Pos(), "wf:lockfree requires a reason")
+				}
 			}
+		case "steps", "param", "len", "singlewriter", "monotone", "abaguard", "waiver":
+			if arg == "" && verb != "monotone" {
+				a.errorf(c.Pos(), "wf:%s requires %s", verb, extraArgName[verb])
+				continue
+			}
+			extras = append(extras, extraDir{verb: verb, arg: arg, pos: c.Pos()})
+			continue
 		default:
-			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking, bounded or lockfree)", verb)
+			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking, bounded, lockfree, steps, param, len, singlewriter, monotone, abaguard or waiver)", verb)
 			continue
 		}
-		out = append(out, d)
+		dirs = append(dirs, d)
 	}
-	return out
+	return dirs, extras
+}
+
+// splitSteps strips an optional leading [expr] symbolic trip-count bracket
+// off a wf:bounded / wf:lockfree argument, validating the expression.
+func (a *Annotations) splitSteps(pos token.Pos, arg string) (steps, rest string) {
+	if !strings.HasPrefix(arg, "[") {
+		return "", arg
+	}
+	i := strings.Index(arg, "]")
+	if i < 0 {
+		a.errorf(pos, "unterminated [steps] bracket")
+		return "", arg
+	}
+	steps = strings.TrimSpace(arg[1:i])
+	rest = strings.TrimSpace(arg[i+1:])
+	if _, err := parseSteps(steps); err != nil {
+		a.errorf(pos, "bad [steps] bracket: %v", err)
+		return "", rest
+	}
+	return steps, rest
 }
 
 // errorf records an annotation error at pos.

@@ -362,6 +362,9 @@ func stableBound(p *Package, loop *ast.ForStmt, bound ast.Expr) (bool, string) {
 // protocol scan loops (internal/protocols), whose PR 2 bounds were trusted
 // prose; the engine now proves them.
 func classifyMonotone(p *Package, loop *ast.ForStmt) (BoundStatus, string) {
+	if status, detail, ok := classifyWalk(p, loop); ok {
+		return status, detail
+	}
 	stmts := loop.Body.List
 	if len(stmts) < 2 {
 		return BoundTrusted, "condition-less loop with no counter step"
@@ -419,6 +422,131 @@ func classifyMonotone(p *Package, loop *ast.ForStmt) (BoundStatus, string) {
 		return BoundTrusted, why
 	}
 	return BoundVerified, fmt.Sprintf("monotone counter: %s steps once per iteration and exits at %s", counter, types.ExprString(bound))
+}
+
+// classifyWalk proves the structural-walk class of condition-less loops:
+// `for n := start; ; n = n.Rest()` (or `n = n.next`) whose first body
+// statement exits on n == nil, where the post statement is the iterator's
+// only write and the projection keeps the iterator's type. Every iteration
+// either terminates at the nil check — which nothing can skip, it is the
+// first statement — or strictly descends one link, so the trip count is the
+// chain length at entry plus any links consed below during the walk; on a
+// prepend-only structure (the decided log: Cons fixes rest at creation,
+// sever only replaces it with nil) descent cannot cycle, which is the shape
+// PR 6's gcSwing and the replay walks share. ok=false hands unclassified
+// loops back to the monotone-counter class.
+func classifyWalk(p *Package, loop *ast.ForStmt) (BoundStatus, string, bool) {
+	init, isAssign := loop.Init.(*ast.AssignStmt)
+	if !isAssign || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return "", "", false
+	}
+	iv, isIdent := init.Lhs[0].(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	iter := iv.Name
+	post, isPost := loop.Post.(*ast.AssignStmt)
+	if !isPost || post.Tok != token.ASSIGN || len(post.Lhs) != 1 || len(post.Rhs) != 1 ||
+		types.ExprString(ast.Unparen(post.Lhs[0])) != iter {
+		return "", "", false
+	}
+	if !isSelfProjection(p, post.Rhs[0], iv) {
+		return "", "", false
+	}
+	if len(loop.Body.List) == 0 {
+		return "", "", false
+	}
+	ifs, isIf := loop.Body.List[0].(*ast.IfStmt)
+	if !isIf || ifs.Init != nil || ifs.Else != nil || !isNilExit(p, ifs, iter) {
+		return "", "", false
+	}
+	// The post projection must be the iterator's only write: a body reset
+	// could re-lift the iterator arbitrarily far up the chain.
+	reset := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IncDecStmt:
+			if types.ExprString(ast.Unparen(s.X)) == iter {
+				reset = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if types.ExprString(ast.Unparen(lhs)) == iter {
+					reset = true
+				}
+			}
+		}
+		return !reset
+	})
+	if reset {
+		return "", "", false
+	}
+	return BoundVerified,
+		fmt.Sprintf("structural walk: %s descends one link per iteration via %s and nothing skips the nil exit",
+			iter, types.ExprString(ast.Unparen(post.Rhs[0]))), true
+}
+
+// isSelfProjection reports whether rhs is a projection of the iterator that
+// keeps its type — a zero-argument method call `n.Rest()` or a field read
+// `n.next` — so each post step moves strictly down the structure.
+func isSelfProjection(p *Package, rhs ast.Expr, iter *ast.Ident) bool {
+	it := p.Info.TypeOf(iter)
+	if it == nil {
+		return false
+	}
+	rhs = ast.Unparen(rhs)
+	var sel *ast.SelectorExpr
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		if len(e.Args) != 0 {
+			return false
+		}
+		s, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		sel = s
+	case *ast.SelectorExpr:
+		sel = e
+	default:
+		return false
+	}
+	if types.ExprString(ast.Unparen(sel.X)) != iter.Name {
+		return false
+	}
+	rt := p.Info.TypeOf(rhs)
+	return rt != nil && types.Identical(rt, it)
+}
+
+// isNilExit reports whether ifs is `if iter == nil { ...; break/return }`.
+func isNilExit(p *Package, ifs *ast.IfStmt, iter string) bool {
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+	isNil := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		return ok && tv.IsNil()
+	}
+	switch {
+	case types.ExprString(x) == iter && isNil(y):
+	case types.ExprString(y) == iter && isNil(x):
+	default:
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK
+	}
+	return false
 }
 
 // thresholdExit reports whether ifs is `if counter >= bound { exit }` (for

@@ -78,11 +78,12 @@ func TestTreeBoundsReport(t *testing.T) {
 	}
 }
 
-// TestCoreBoundsReport pins the batching PR's headline on internal/core: the
+// TestCoreBoundsReport pins the certifier's headline on internal/core: the
 // help-wait window in awaitHelp is a counted loop the certifier proves
 // outright (a stalled executor delays a helped writer by at most the window),
-// the replay walk stays trusted on its Section 4.1 argument, and nothing in
-// the package is contradicted.
+// the replay and anchor walks — trusted on their Section 4.1 arguments until
+// the structural-walk class landed — are now machine-verified self-projection
+// descents, and nothing in the package is contradicted.
 func TestCoreBoundsReport(t *testing.T) {
 	_, p := loadFixture(t, "../../../core")
 	records, diags := analyzeBounds(p)
@@ -99,11 +100,11 @@ func TestCoreBoundsReport(t *testing.T) {
 	if got := byScope["loop in awaitHelp"]; got != BoundVerified {
 		t.Errorf("awaitHelp help-wait window certified %q, want %q (counted loop)", got, BoundVerified)
 	}
-	if got := byScope["loop in replayPublish"]; got != BoundTrusted {
-		t.Errorf("replayPublish walk certified %q, want %q (snapshot-bound argument)", got, BoundTrusted)
+	if got := byScope["loop in replayPublish"]; got != BoundVerified {
+		t.Errorf("replayPublish walk certified %q, want %q (structural walk)", got, BoundVerified)
 	}
-	if got := byScope["loop in gcSwing"]; got != BoundTrusted {
-		t.Errorf("gcSwing anchor walk certified %q, want %q (live-region argument)", got, BoundTrusted)
+	if got := byScope["loop in gcSwing"]; got != BoundVerified {
+		t.Errorf("gcSwing anchor walk certified %q, want %q (structural walk)", got, BoundVerified)
 	}
 }
 
@@ -115,7 +116,7 @@ func TestTreeBoundsTotals(t *testing.T) {
 	pkgs := []string{
 		"../../../check", "../../../combine", "../../../core",
 		"../../../protocols", "../../../queue", "../../../registers",
-		"../../../wfcheck", "../../../wfstats",
+		"../../../shard", "../../../wfcheck", "../../../wfstats",
 	}
 	counts := make(map[BoundStatus]int)
 	for _, rel := range pkgs {
@@ -132,10 +133,11 @@ func TestTreeBoundsTotals(t *testing.T) {
 		}
 	}
 	want := map[BoundStatus]int{
-		// The log GC's anchor walk (gcSwing) is trusted on the live-region
-		// argument; its min-scans are plain range loops, machine-bounded by
-		// their operand, so they carry no directive and add no record.
-		BoundVerified: 5, BoundTrusted: 11, BoundLockFree: 4, BoundContradicted: 0,
+		// The structural-walk class moved the replay walks and the gcSwing
+		// anchor walk from trusted to verified; the GC min-scans are plain
+		// range loops, machine-bounded by their operand, so they carry no
+		// directive and add no record.
+		BoundVerified: 9, BoundTrusted: 11, BoundLockFree: 4, BoundContradicted: 0,
 	}
 	for status, n := range want {
 		if counts[status] != n {

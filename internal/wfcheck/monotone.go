@@ -1,0 +1,129 @@
+package wfcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// monotone proves that writes to annotated registers never decrease them.
+// The log GC's safety argument (PR 6) rests on exactly this: the low-water
+// floor, the anchor, the GC epoch and each observed-prefix slot only ever
+// move forward, so a reader that checked the floor can trust every index at
+// or below it forever. A single backward write silently un-retires log
+// entries and the next swing frees memory a replay still walks. The pass
+// accepts the three shapes the tree's protocols use, judged against the
+// guards that dominate the write site (enclosing if conditions, preceding
+// early-exit negations, && / || short-circuit operands):
+//
+//   - reg.Store(v) dominated by a proof that v >= reg.Load() (directly or
+//     through a local bound from the register's own Load);
+//   - reg.Add(c) / reg.Or(c) with a provably non-negative constant;
+//   - reg.CompareAndSwap(old, new) dominated by a proof that new >= old —
+//     CAS success means the register still holds old, so the write moves it
+//     up.
+//
+// Everything else — Swap, plain assignment, an unguarded Store, or taking
+// the register's address (which moves the mutation out of the analyzer's
+// sight) — is a finding, to be fixed or waived with a reason.
+
+// analyzeMonotone checks every mutation of a //wf:monotone field in the
+// package.
+func analyzeMonotone(prog *Program, p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkMonotone(prog, p, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkMonotone audits one function body.
+func checkMonotone(prog *Program, p *Package, fd *ast.FuncDecl) []Diagnostic {
+	binds := loadBindings(p, fd.Body)
+	var diags []Diagnostic
+	report := func(pos ast.Node, field *types.Var, format string, args ...any) {
+		args = append([]any{field.Name()}, args...)
+		if d := disciplineDiag(p, pos.Pos(), "monotone", "%s is //wf:monotone: "+format, args...); d != nil {
+			diags = append(diags, *d)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			recv, name, ok := atomicCallSite(p, n)
+			if !ok || !isMutatingAtomic(name) {
+				return true
+			}
+			field, fa := annFieldOf(prog, p, recv)
+			if field == nil || fa == nil || !fa.Monotone {
+				return true
+			}
+			recvPath := types.ExprString(ast.Unparen(recv))
+			switch {
+			case callKind(name) == "Store":
+				stored := types.ExprString(ast.Unparen(n.Args[0]))
+				gs := collectGuards(fd.Body, n)
+				if !guardProvesGE(gs, stored, func(b string) bool { return refMatches(b, recvPath, binds) }) {
+					report(n, field, "Store(%s) is not dominated by a %s >= %s.Load() guard", stored, stored, recvPath)
+				}
+			case callKind(name) == "Add" || callKind(name) == "Or":
+				if !nonNegativeConst(p, n.Args[0]) {
+					report(n, field, "%s(%s) is not a provably non-negative constant step",
+						callKind(name), types.ExprString(n.Args[0]))
+				}
+			case callKind(name) == "CompareAndSwap":
+				oldS := types.ExprString(ast.Unparen(n.Args[0]))
+				newS := types.ExprString(ast.Unparen(n.Args[1]))
+				gs := collectGuards(fd.Body, n)
+				if !guardProvesGE(gs, newS, func(b string) bool { return b == oldS }) {
+					report(n, field, "CompareAndSwap(%s, %s) is not dominated by a %s >= %s guard", oldS, newS, newS, oldS)
+				}
+			default: // Swap, And
+				report(n, field, "%s cannot be proven non-decreasing", name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field, fa := annFieldOf(prog, p, lhs); field != nil && fa != nil && fa.Monotone {
+					report(n, field, "plain assignment bypasses the register's atomic monotone protocol")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if field, fa := annFieldOf(prog, p, n.X); field != nil && fa != nil && fa.Monotone {
+				report(n, field, "taking its address moves mutations out of the analyzer's sight")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// callKind strips the type suffix off a sync/atomic method or function name
+// (CompareAndSwapInt64 → CompareAndSwap).
+func callKind(name string) string {
+	for _, prefix := range []string{"CompareAndSwap", "Store", "Swap", "Add", "Or", "And", "Load"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return prefix
+		}
+	}
+	return name
+}
+
+// nonNegativeConst reports whether e is a compile-time constant >= 0.
+func nonNegativeConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	return v.Kind() == constant.Int && constant.Sign(v) >= 0
+}

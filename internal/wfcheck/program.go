@@ -35,6 +35,19 @@ type Program struct {
 	// dispatch through such a method trusts the contract instead of fanning
 	// out to implementations.
 	contracts map[types.Object]*Directive
+
+	// Module is the module path when the program was loaded from a module
+	// root ("" for single-package fixture programs); the package whose import
+	// path equals it is the façade that seeds symbolic op certification.
+	Module string
+
+	// steps maps objects carrying //wf:steps declarations — functions,
+	// interface methods, func-typed fields — to their cost expressions.
+	steps map[types.Object]string
+
+	// fields maps const/field objects to their //wf:param / //wf:len /
+	// discipline annotations, resolvable from any package's call sites.
+	fields map[types.Object]*FieldAnn
 }
 
 // ProgFunc is one function declaration located in its package.
@@ -69,6 +82,9 @@ func NewProgram(l *Loader) *Program {
 		funcs:     make(map[types.Object]*ProgFunc),
 		impls:     make(map[*types.Func][]*ProgFunc),
 		contracts: make(map[types.Object]*Directive),
+		Module:    l.Module,
+		steps:     make(map[types.Object]string),
+		fields:    make(map[types.Object]*FieldAnn),
 	}
 	for _, p := range prog.Pkgs {
 		prog.index(p)
@@ -95,6 +111,21 @@ func (prog *Program) index(p *Package) {
 			prog.contracts[obj] = d
 		}
 	}
+	for name, s := range p.Annots.Steps {
+		if obj := p.Info.Defs[name]; obj != nil {
+			prog.steps[obj] = s.Expr
+		}
+	}
+	for name, fa := range p.Annots.Fields {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		prog.fields[obj] = fa
+		if fa.Steps != "" {
+			prog.steps[obj] = fa.Steps
+		}
+	}
 	if p.TPkg == nil {
 		return
 	}
@@ -119,6 +150,8 @@ func SinglePackage(p *Package) *Program {
 		funcs:     make(map[types.Object]*ProgFunc),
 		impls:     make(map[*types.Func][]*ProgFunc),
 		contracts: make(map[types.Object]*Directive),
+		steps:     make(map[types.Object]string),
+		fields:    make(map[types.Object]*FieldAnn),
 	}
 	prog.index(p)
 	return prog

@@ -52,9 +52,9 @@ func TestCrossPackageResolution(t *testing.T) {
 		t.Fatalf("whole-program analysis found %d diagnostics, want 2:\n%s", len(whole.Diags), joined)
 	}
 	for _, want := range []string{
-		"calls sync.Mutex.Lock",      // Helper's hidden mutex, seen through the import edge
-		"annotated wf:blocking",      // Declared's annotation, read from package a
-		"reached from wf:waitfree",   // the finding attributes to b's entry point
+		"calls sync.Mutex.Lock",    // Helper's hidden mutex, seen through the import edge
+		"annotated wf:blocking",    // Declared's annotation, read from package a
+		"reached from wf:waitfree", // the finding attributes to b's entry point
 	} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("whole-program diagnostics missing %q in:\n%s", want, joined)

@@ -1,0 +1,153 @@
+package wfcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// singlewriter enforces the paper's single-writer-register discipline on
+// annotated per-process slot arrays. A field marked //wf:singlewriter <owner>
+// is a slice (or array) whose element i may be written only by process i:
+// the announce/prefer/decided registers of the consensus protocols, the
+// observed-prefix registers of the log GC, and the wfstats stripes all
+// depend on it — two writers on one slot lose updates (StripedCounter's
+// load+store) or break the protocol outright (a foreign write to announce
+// forges an operation). The check is syntactic ownership: every element
+// store — plain assignment, ++/--, or a sync/atomic mutation through the
+// element, directly or through a one-level `slot := &f.field[i]` alias —
+// must index by an identifier named exactly the annotated owner, the
+// convention that makes ownership reviewable at the store site. Reads are
+// free (the protocols scan all slots), and whole-field assignment replaces
+// the slice header rather than an element, which is construction, not a
+// slot write.
+
+// swSite locates the annotated slice a store went through and the index it
+// used.
+type swSite struct {
+	field *types.Var
+	ann   *FieldAnn
+	index ast.Expr
+}
+
+// analyzeSingleWriter checks every function in the package against the
+// package's (and, whole-program, the module's) singlewriter annotations.
+func analyzeSingleWriter(prog *Program, p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkSingleWriter(prog, p, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkSingleWriter audits one function body.
+func checkSingleWriter(prog *Program, p *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Aliases: `slot := &f.field[i]` (possibly deeper, `s := &c.slots[i].v`)
+	// transfers the indexed element — and the ownership obligation — to a
+	// local. One level is enough for the tree's idiom; an alias of an alias
+	// does not resolve and simply escapes the check.
+	aliases := make(map[types.Object]*swSite)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			site := swResolve(prog, p, aliases, as.Rhs[i])
+			if site == nil {
+				continue
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				aliases[obj] = site
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				aliases[obj] = site
+			}
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	report := func(pos ast.Node, site *swSite, how string) {
+		if d := disciplineDiag(p, pos.Pos(), "singlewriter",
+			"%s %s, annotated //wf:singlewriter %s, but indexes by %s — only the owning process may store its slot",
+			how, site.field.Name(), site.ann.SingleWriter, types.ExprString(ast.Unparen(site.index))); d != nil {
+			diags = append(diags, *d)
+		}
+	}
+	check := func(pos ast.Node, e ast.Expr, how string) {
+		site := swResolve(prog, p, aliases, e)
+		if site == nil {
+			return
+		}
+		idx, isIdent := unwrapConversion(p, site.index).(*ast.Ident)
+		if !isIdent || idx.Name != site.ann.SingleWriter {
+			report(pos, site, how)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// A bare identifier lhs (re)binds a local — taking the alias is
+				// not an element write; writes through it (*slot, slot.v.Store)
+				// are caught at their own sites. Whole-field assignment resolves
+				// to no site; element writes resolve through swResolve.
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				check(n, lhs, "assignment writes an element of")
+			}
+		case *ast.IncDecStmt:
+			check(n, n.X, "step writes an element of")
+		case *ast.CallExpr:
+			if recv, name, ok := atomicCallSite(p, n); ok && isMutatingAtomic(name) {
+				check(n, recv, name+" mutates an element of")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isMutatingAtomic reports a sync/atomic method that writes its target.
+func isMutatingAtomic(name string) bool {
+	for _, prefix := range []string{"Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// swResolve walks an lvalue or receiver path down to the index expression
+// that selects an element of a //wf:singlewriter field, resolving one level
+// of local aliasing; nil when the path touches no annotated slice element.
+func swResolve(prog *Program, p *Package, aliases map[types.Object]*swSite, e ast.Expr) *swSite {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		if v, fa := annFieldOf(prog, p, e.X); v != nil && fa != nil && fa.SingleWriter != "" {
+			return &swSite{field: v, ann: fa, index: e.Index}
+		}
+		return swResolve(prog, p, aliases, e.X)
+	case *ast.SelectorExpr:
+		return swResolve(prog, p, aliases, e.X)
+	case *ast.StarExpr:
+		return swResolve(prog, p, aliases, e.X)
+	case *ast.UnaryExpr:
+		return swResolve(prog, p, aliases, e.X)
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return aliases[obj]
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // stale flags directives that no longer earn their keep: an annotation is
@@ -20,7 +21,12 @@ import (
 // loop-line-justified loop, and it calls nothing that carries a
 // non-waitfree claim of its own; a loop-line directive is stale when the
 // loop's own shape (an exit condition, no Gosched spin) already satisfies
-// every analyzer.
+// every analyzer. A loop directive carrying a [steps] bracket is never
+// stale: the bracket feeds the symbolic step algebra even when the
+// progress analyzers need nothing.
+//
+// Findings are warnings by default; Config.StrictStale promotes them to
+// errors unless allowlisted by "file.go:FuncName" (see staleKey).
 func analyzeStale(prog *Program, targets []*Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, p := range targets {
@@ -34,10 +40,8 @@ func analyzeStale(prog *Program, targets []*Package) []Diagnostic {
 					switch d.Mode {
 					case ModeBlocking, ModeLockFree, ModeBounded:
 						if !justifiesDirective(prog, p, fd) {
-							diags = append(diags, Diagnostic{
-								Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
-								Message: fmt.Sprintf("stale %s (%s) on %s: the analyzers find nothing in it that a wait-free function could not contain; remove the directive or update the reason", d.Mode, d.Arg, fd.Name.Name),
-							})
+							diags = append(diags, staleDiag(p, d, fd,
+								fmt.Sprintf("stale %s (%s) on %s: the analyzers find nothing in it that a wait-free function could not contain; remove the directive or update the reason", d.Mode, d.Arg, fd.Name.Name)))
 						}
 					}
 				}
@@ -108,6 +112,21 @@ func justifiesDirective(prog *Program, p *Package, fd *ast.FuncDecl) bool {
 	return justified
 }
 
+// staleDiag builds a stale warning carrying its allowlist key.
+func staleDiag(p *Package, d *Directive, fd *ast.FuncDecl, msg string) Diagnostic {
+	pos := p.Fset.Position(d.Pos)
+	return Diagnostic{
+		Pos: pos, Analyzer: "stale", Warn: true, Message: msg,
+		allowKey: filepath.Base(pos.Filename) + ":" + fd.Name.Name,
+	}
+}
+
+// staleKey is the StaleAllow allowlist key of a stale finding:
+// "file.go:FuncName", stable across line-number churn.
+func staleKey(d Diagnostic) string {
+	return d.allowKey
+}
+
 // staleLoopDirectives warns about loop-line directives sitting on loops
 // whose shape no analyzer flags: an exit condition with no Gosched spin
 // needs no justification, so the directive is decoration that will drift.
@@ -117,30 +136,26 @@ func staleLoopDirectives(prog *Program, p *Package, fd *ast.FuncDecl) []Diagnost
 		switch n := n.(type) {
 		case *ast.ForStmt:
 			d := p.Annots.LoopDirective(n.Pos())
-			if d == nil {
-				return true
+			if d == nil || d.Steps != "" {
+				return true // a [steps] bracket feeds the symbolic algebra
 			}
 			if n.Cond == nil || goschedIn(p, n).IsValid() {
 				return true // the shape would be flagged; directive is load-bearing
 			}
-			diags = append(diags, Diagnostic{
-				Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
-				Message: fmt.Sprintf("stale %s (%s): this loop's own exit condition already satisfies the analyzers; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name),
-			})
+			diags = append(diags, staleDiag(p, d, fd,
+				fmt.Sprintf("stale %s (%s): this loop's own exit condition already satisfies the analyzers; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name)))
 		case *ast.RangeStmt:
 			d := p.Annots.LoopDirective(n.Pos())
-			if d == nil {
-				return true
+			if d == nil || d.Steps != "" {
+				return true // a [steps] bracket feeds the symbolic algebra
 			}
 			if t := p.Info.TypeOf(n.X); t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan {
 					return true // blocking flags channel ranges regardless
 				}
 			}
-			diags = append(diags, Diagnostic{
-				Pos: p.Fset.Position(d.Pos), Analyzer: "stale", Warn: true,
-				Message: fmt.Sprintf("stale %s (%s): range loops are bounded by their operand; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name),
-			})
+			diags = append(diags, staleDiag(p, d, fd,
+				fmt.Sprintf("stale %s (%s): range loops are bounded by their operand; remove the directive (in %s)", d.Mode, d.Arg, fd.Name.Name)))
 		}
 		return true
 	})

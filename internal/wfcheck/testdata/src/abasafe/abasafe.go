@@ -1,0 +1,52 @@
+// Package abasafe exercises the pointer-CAS ABA audit: every sync/atomic
+// CompareAndSwap over addresses must be install-once (nil old), held-pointer
+// (old from this register's own Load), value-derived (new computed from
+// old), or declared safe at the field (//wf:abaguard). The fixture covers
+// each accepted shape, the unprotected rejection, and a waived site.
+package abasafe
+
+import "sync/atomic"
+
+type node struct {
+	next *node
+}
+
+type stack struct {
+	head atomic.Pointer[node]
+	//wf:abaguard the epoch tag in the node makes a recycled address harmless
+	tagged atomic.Pointer[node]
+}
+
+// installOnce transitions out of nil: nil is never a recycled address.
+func (s *stack) installOnce(n *node) bool {
+	return s.head.CompareAndSwap(nil, n)
+}
+
+// heldPointer holds old from this register's own Load, so the GC pins it.
+func (s *stack) heldPointer(n *node) bool {
+	old := s.head.Load()
+	n.next = old
+	return s.head.CompareAndSwap(old, n)
+}
+
+// valueDerived computes new from old: the RMW shape where a recycled-but-
+// equal old still yields the intended transition.
+func (s *stack) valueDerived(old *node) bool {
+	return s.head.CompareAndSwap(old, old.next)
+}
+
+// declared swaps a field whose protection is stated at its declaration.
+func (s *stack) declared(old, n *node) bool {
+	return s.tagged.CompareAndSwap(old, n)
+}
+
+// unprotected compares an address it neither holds nor derives from.
+func (s *stack) unprotected(old, n *node) bool {
+	return s.head.CompareAndSwap(old, n)
+}
+
+// waived is a justified exception with the protocol argument at the site.
+func (s *stack) waived(old, n *node) bool {
+	//wf:waiver abasafe the caller publishes old through a hazard pointer before calling
+	return s.head.CompareAndSwap(old, n)
+}

@@ -1,0 +1,79 @@
+// Package monotone exercises the non-decreasing register pass: a field
+// annotated //wf:monotone may only move forward, and every mutation must
+// carry one of the provable shapes — a Store dominated by a >=-Load guard,
+// an Add of a non-negative constant, or a CompareAndSwap dominated by a
+// new >= old proof. The fixture covers each accepted shape (including the
+// early-exit negation form the tree's GC uses), each rejected one
+// (unguarded Store, negative Add, Swap, plain assignment, address escape),
+// and a waived store.
+package monotone
+
+import "sync/atomic"
+
+type marks struct {
+	//wf:monotone
+	floor atomic.Int64
+	//wf:monotone
+	epoch atomic.Int64
+	//wf:monotone
+	mark atomic.Int64
+}
+
+// raiseGuarded proves the store with an enclosing if guard.
+func (m *marks) raiseGuarded(v int64) {
+	if v >= m.floor.Load() {
+		m.floor.Store(v)
+	}
+}
+
+// raiseEarlyExit proves the store with a preceding early-exit negation.
+func (m *marks) raiseEarlyExit(v int64) {
+	if v < m.floor.Load() {
+		return
+	}
+	m.floor.Store(v)
+}
+
+// bump steps by a non-negative constant.
+func (m *marks) bump() {
+	m.epoch.Add(1)
+}
+
+// casGuarded proves the swap with a new > old dominator.
+func (m *marks) casGuarded(v int64) {
+	old := m.mark.Load()
+	if v > old {
+		m.mark.CompareAndSwap(old, v)
+	}
+}
+
+// storeUnguarded has no dominating proof.
+func (m *marks) storeUnguarded(v int64) {
+	m.floor.Store(v)
+}
+
+// addNegative steps backward.
+func (m *marks) addNegative() {
+	m.epoch.Add(-1)
+}
+
+// swapHidden uses Swap, which proves nothing about direction.
+func (m *marks) swapHidden(v int64) {
+	m.mark.Swap(v)
+}
+
+// casUnguarded swaps without a new >= old dominator.
+func (m *marks) casUnguarded(old, v int64) {
+	m.mark.CompareAndSwap(old, v)
+}
+
+// escape moves mutations out of the analyzer's sight.
+func (m *marks) escape() *atomic.Int64 {
+	return &m.floor
+}
+
+// waived is a justified exception with the reason at the site.
+func (m *marks) waived(v int64) {
+	//wf:waiver monotone the caller serializes raises during single-threaded recovery
+	m.floor.Store(v)
+}

@@ -1,0 +1,66 @@
+// Package singlewriter exercises the single-writer register discipline: a
+// field annotated //wf:singlewriter <owner> is a per-process slot array
+// whose element i only process i may store, and every element write must
+// index by an identifier named exactly the annotated owner. The fixture
+// covers the accepted shapes (owner-indexed stores, direct and through an
+// alias; reads; whole-field replacement) and each rejected one (foreign
+// expression, foreign name, aliased foreign slot), plus a waived store.
+package singlewriter
+
+import "sync/atomic"
+
+type slot struct {
+	v atomic.Int64
+	n int64
+}
+
+type table struct {
+	//wf:singlewriter pid
+	seqs []atomic.Int64
+	//wf:singlewriter pid
+	slots []slot
+}
+
+// ok stores only through the owner index, directly and through an alias.
+func (t *table) ok(pid int, v int64) {
+	t.seqs[pid].Store(v)
+	t.slots[pid].n = v
+	s := &t.slots[pid]
+	s.v.Add(1)
+}
+
+// read scans every slot: reads are free.
+func (t *table) read() int64 {
+	var total int64
+	for i := range t.seqs {
+		total += t.seqs[i].Load()
+	}
+	return total
+}
+
+// rebuild replaces the slice header — construction, not a slot write.
+func (t *table) rebuild(n int) {
+	t.seqs = make([]atomic.Int64, n)
+}
+
+// badExpr stores through a computed index: not the bare owner identifier.
+func (t *table) badExpr(pid int, v int64) {
+	t.seqs[pid+1].Store(v)
+}
+
+// badName stores through an identifier that is not the annotated owner.
+func (t *table) badName(i int, v int64) {
+	t.slots[i].n = v
+}
+
+// badAlias stores through an alias of a foreign slot.
+func (t *table) badAlias(j int) {
+	s := &t.slots[j].v
+	s.Store(9)
+}
+
+// waived is a justified exception: a constant-index store with a reason.
+func (t *table) waived(k int64) {
+	//wf:waiver singlewriter slot 0 is the coordinator's own slot, fixed at setup
+	t.seqs[0].Store(k)
+}

@@ -1,0 +1,26 @@
+// Package inner is the callee side of the symbolic-composition fixture: a
+// scanner whose step bound is the parameter n, declared on its own register
+// array. The caller package composes this bound across the import edge.
+package inner
+
+import "sync/atomic"
+
+// Scanner reads a per-process register array.
+type Scanner struct {
+	//wf:len n
+	regs []atomic.Int64
+}
+
+// NewScanner sizes the register array for n processes.
+func NewScanner(n int) *Scanner {
+	return &Scanner{regs: make([]atomic.Int64, n)}
+}
+
+// Scan reads every register: one load per process.
+func (s *Scanner) Scan() int64 {
+	var total int64
+	for i := range s.regs {
+		total += s.regs[i].Load()
+	}
+	return total
+}

@@ -37,6 +37,39 @@
 //	    retry loop, satisfying the progress analyzer while keeping the loop
 //	    visible in the bounds report.
 //
+// Loop-line wf:bounded and wf:lockfree arguments may open with a [expr]
+// bracket — `//wf:bounded [n*k] walks the live region...` — declaring the
+// loop's symbolic trip count for the step algebra (see symbound below).
+//
+// The v3 symbolic and register-discipline directives:
+//
+//	//wf:steps <expr>
+//	    On a function, interface method, or func-typed field: calls cost
+//	    the declared polynomial (identifiers are parameters, composed with
+//	    + and *) instead of walking the callee. The cost-model boundary:
+//	    seqspec transitions are one step in the paper's model, an interface
+//	    contract like FetchAndCons is O(n) by Corollary 27.
+//	//wf:param <name>
+//	    On a const or field: its value is one instance of the named
+//	    symbolic parameter (n processes, k snapshot interval, B help-spin
+//	    budget, ...).
+//	//wf:len <name>
+//	    On a slice field: its length equals the named parameter, so ranges
+//	    over it cost that parameter per trip.
+//	//wf:singlewriter <owner>
+//	    On a per-process slot slice: element i may be stored only by code
+//	    indexing with an identifier named <owner> (the owning pid).
+//	//wf:monotone
+//	    On an atomic register field: stored values must be provably
+//	    non-decreasing (guarded Store, non-negative Add, new>=old CAS).
+//	//wf:abaguard <reason>
+//	    On a pointer CAS target: states the field's ABA protection when it
+//	    is a protocol argument the analyzer cannot see.
+//	//wf:waiver <analyzer> <reason>
+//	    On (or directly above) a finding's line: a reasoned exemption from
+//	    singlewriter, monotone or abasafe. A waiver nothing consumes is
+//	    itself an error — it cannot outlive the finding it excused.
+//
 // A declaration carrying conflicting directives is an error. Directives in
 // _test.go files are ignored: test harnesses may block freely.
 //
@@ -81,9 +114,28 @@
 // package-level state mutation, and map iteration that feeds output without
 // a subsequent sort.
 //
-// stale: warns (never errors) about directives the analyzers no longer
-// need — a wf:blocking function with nothing blocking in it, a loop-line
-// bound on a loop whose own condition already satisfies every check.
+// symbound: the symbolic step-bound certifier. Loop bounds — machine-derived
+// (constant trips, counted loops against //wf:param values, ranges over
+// //wf:len slices) or declared ([expr] brackets, //wf:steps contracts) —
+// compose additively and multiplicatively through the whole-program call
+// graph into a worst-case step polynomial per exported façade operation,
+// reported as verified (machine-derived throughout), trusted (resting on
+// declared facts), or unbounded (an error for façade-reachable operations:
+// wait-freedom is exactly the existence of this bound).
+//
+// singlewriter: enforces the per-process slot-ownership discipline on
+// //wf:singlewriter slices — every element store must index by the owner.
+//
+// monotone: proves writes to //wf:monotone registers non-decreasing, the
+// invariant the log GC's low-water protocol stands on.
+//
+// abasafe: audits pointer CompareAndSwap for ABA protection — install-once
+// nil, held-pointer Load, value-derived RMW, or a declared field guard.
+//
+// stale: flags directives the analyzers no longer need — a wf:blocking
+// function with nothing blocking in it, a loop-line bound on a loop whose
+// own condition already satisfies every check. Advisory by default;
+// StrictStale (CI) turns unallowlisted drift into errors.
 package wfcheck
 
 import (
@@ -95,11 +147,14 @@ import (
 // Diagnostic is one finding, positioned for file:line:col reporting.
 type Diagnostic struct {
 	Pos      token.Position
-	Analyzer string // "annot", "blocking", "boundcert", "progress", "pubsafety", "atomicmix", "specpure" or "stale"
+	Analyzer string // "annot", "blocking", "boundcert", "progress", "pubsafety", "atomicmix", "specpure", "symbound", "singlewriter", "monotone", "abasafe" or "stale"
 	Message  string
 	// Warn marks advisory findings (stale directives) that are reported but
 	// do not fail the run.
 	Warn bool
+	// allowKey identifies a stale finding for Config.StaleAllow
+	// ("file.go:FuncName"); empty on every other analyzer's findings.
+	allowKey string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -142,13 +197,25 @@ type Config struct {
 	// whole-program resolution adds; the cross-package fixture test proves
 	// the difference.
 	IntraPackage bool
+
+	// StrictStale promotes stale-directive warnings to errors (the CI
+	// setting): directive drift fails the build instead of scrolling by.
+	StrictStale bool
+
+	// StaleAllow exempts known-acceptable stale findings from StrictStale,
+	// keyed "file.go:FuncName" (base filename). Entries must be justified in
+	// the workflow that sets them.
+	StaleAllow map[string]bool
 }
 
-// Result is one analysis run's output: the findings plus the bounds report
-// covering every wf:bounded and loop-line wf:lockfree directive seen.
+// Result is one analysis run's output: the findings, the bounds report
+// covering every wf:bounded and loop-line wf:lockfree directive seen, and —
+// when the module's façade package is among the targets — the symbolic
+// step certificates of its exported operations.
 type Result struct {
 	Diags  []Diagnostic
 	Bounds []BoundRecord
+	Ops    []OpCert
 }
 
 // Errors reports whether any non-warning diagnostic is present (the
@@ -196,12 +263,65 @@ func (c Config) RunProgram(prog *Program, targets []*Package) *Result {
 		res.Diags = append(res.Diags, analyzePubSafety(p)...)
 		res.Diags = append(res.Diags, analyzeAtomicMix(p)...)
 		res.Diags = append(res.Diags, analyzeSpecPurity(p)...)
+		res.Diags = append(res.Diags, analyzeSingleWriter(prog, p)...)
+		res.Diags = append(res.Diags, analyzeMonotone(prog, p)...)
+		res.Diags = append(res.Diags, analyzeABA(prog, p)...)
+		res.Diags = append(res.Diags, unusedWaiverDiags(p)...)
+	}
+	if root := moduleRoot(prog, targets); root != nil {
+		ops, diags := analyzeSymbolic(prog, root)
+		res.Ops = ops
+		res.Diags = append(res.Diags, diags...)
 	}
 	if c.All {
-		res.Diags = append(res.Diags, analyzeStale(prog, targets)...)
+		res.Diags = append(res.Diags, c.staleDiags(prog, targets)...)
 	}
 	SortDiagnostics(res.Diags)
 	return res
+}
+
+// moduleRoot finds the target package whose import path is the module path —
+// the façade whose exported surface seeds symbolic certification. Fixture
+// programs (no module context) have none.
+func moduleRoot(prog *Program, targets []*Package) *Package {
+	if prog.Module == "" {
+		return nil
+	}
+	for _, p := range targets {
+		if p.Path == prog.Module && p.TPkg != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// unusedWaiverDiags errors every waiver the discipline analyzers did not
+// consume: a dead waiver would silently excuse the next finding to appear on
+// its line. Must run after singlewriter, monotone and abasafe.
+func unusedWaiverDiags(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, w := range p.Annots.UnusedWaivers() {
+		diags = append(diags, Diagnostic{
+			Pos: p.Fset.Position(w.Pos), Analyzer: "annot",
+			Message: fmt.Sprintf("wf:waiver %s excuses no finding on its line — remove it (reason was: %s)", w.Analyzer, w.Reason),
+		})
+	}
+	return diags
+}
+
+// staleDiags runs the stale analyzer, applying the strict-mode promotion
+// and allowlist.
+func (c Config) staleDiags(prog *Program, targets []*Package) []Diagnostic {
+	diags := analyzeStale(prog, targets)
+	if !c.StrictStale {
+		return diags
+	}
+	for i := range diags {
+		if diags[i].Warn && !c.StaleAllow[staleKey(diags[i])] {
+			diags[i].Warn = false
+		}
+	}
+	return diags
 }
 
 // runOne is RunProgram's per-package body for the intra-package mode.
@@ -216,8 +336,12 @@ func (c Config) runOne(prog *Program, p *Package) *Result {
 	res.Diags = append(res.Diags, analyzePubSafety(p)...)
 	res.Diags = append(res.Diags, analyzeAtomicMix(p)...)
 	res.Diags = append(res.Diags, analyzeSpecPurity(p)...)
+	res.Diags = append(res.Diags, analyzeSingleWriter(prog, p)...)
+	res.Diags = append(res.Diags, analyzeMonotone(prog, p)...)
+	res.Diags = append(res.Diags, analyzeABA(prog, p)...)
+	res.Diags = append(res.Diags, unusedWaiverDiags(p)...)
 	if c.All {
-		res.Diags = append(res.Diags, analyzeStale(prog, []*Package{p})...)
+		res.Diags = append(res.Diags, c.staleDiags(prog, []*Package{p})...)
 	}
 	return res
 }

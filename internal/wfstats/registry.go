@@ -127,7 +127,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // registered metric. A kind mismatch on an existing name panics: it is a
 // programming error on the level of a duplicate type declaration.
 func (r *Registry) install(m *metric) *metric {
-	//wf:lockfree copy-on-write CAS: a retry means another process published a registration; registrations are finitely many but the retry count belongs to their schedule
+	//wf:lockfree [M] copy-on-write CAS: a retry means another process published a registration, and registrations are finitely many (M, fixed at setup), so the retries amortize to the registration count — the retry schedule just belongs to the other processes
 	for {
 		old := r.state.metrics.Load()
 		if old != nil {
@@ -178,6 +178,8 @@ type Sample struct {
 // snapshot is not an atomic cut across metrics, which is the standard — and
 // here explicitly accepted — monitoring trade-off. Nil-safe: nil registry
 // snapshots to nil.
+//
+//wf:steps M
 func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
@@ -212,6 +214,8 @@ func (r *Registry) Snapshot() []Sample {
 
 // WriteText renders the snapshot as an aligned text table, histograms with
 // count/mean/max and a compact bucket line.
+//
+//wf:steps M
 func (r *Registry) WriteText(w io.Writer) error {
 	samples := r.Snapshot()
 	width, kindWidth := len("METRIC"), len("KIND")
@@ -259,6 +263,8 @@ func bucketString(bs []Bucket) string {
 }
 
 // WriteJSON renders the snapshot as one indented JSON array.
+//
+//wf:steps M
 func (r *Registry) WriteJSON(w io.Writer) error {
 	samples := r.Snapshot()
 	if samples == nil {

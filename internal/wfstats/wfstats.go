@@ -55,7 +55,14 @@ func (c *Counter) Load() int64 {
 // LOCK-prefixed read-modify-write, no bouncing — and Load sums the slots.
 // The trade is memory (64 bytes per slot) and the REQUIREMENT that slot i
 // has a single writer; two writers on one slot lose increments.
-type StripedCounter struct{ slots []paddedInt64 }
+type StripedCounter struct {
+	// slots[i] is process i's stripe; the Add(i, …) caller is its only
+	// writer (the REQUIREMENT above, now machine-checked).
+	//
+	//wf:len n
+	//wf:singlewriter i
+	slots []paddedInt64
+}
 
 // paddedInt64 is an atomic counter padded out to a 64-byte cache line.
 type paddedInt64 struct {
@@ -137,7 +144,7 @@ func (g *Gauge) Load() int64 {
 
 // maxAtomic raises *a to v monotonically.
 func maxAtomic(a *atomic.Int64, v int64) {
-	//wf:lockfree monotone-max CAS: a retry means another process raised the value; the observed maximum converges but the trip count is theirs, not ours
+	//wf:lockfree [1] monotone-max CAS: a retry means another process raised the value; the observed maximum converges but the trip count is theirs, not ours — amortized over the system, one step
 	for {
 		cur := a.Load()
 		if v <= cur || a.CompareAndSwap(cur, v) {
@@ -155,8 +162,11 @@ const NumBuckets = 64
 // [2^(i-1), 2^i). The record path is three atomic adds, one atomic max,
 // and no allocation; negative values clamp to 0.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
+	count atomic.Int64
+	sum   atomic.Int64
+	// max only ever rises (maxAtomic's guarded CAS).
+	//
+	//wf:monotone
 	max     atomic.Int64
 	buckets [NumBuckets]atomic.Int64
 }
@@ -171,6 +181,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+	//wf:waiver monotone maxAtomic raises the register behind a pointer this pass cannot see through; its CAS is guarded v > cur, so the store is non-decreasing
 	maxAtomic(&h.max, v)
 	h.buckets[bucketOf(v)].Add(1)
 }
