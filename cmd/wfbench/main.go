@@ -1,0 +1,206 @@
+// Command wfbench drives a wfserver over real sockets.
+//
+// Three modes:
+//
+//	-mode fill   write keys 0..keys-1 with a deterministic value, then exit
+//	-mode check  read keys 0..keys-1 and fail if any value is wrong — the
+//	             verification half of a kill -9 / restart drill
+//	-mode bench  open-loop load: -conns connections, each paced so the
+//	             fleet offers -rate ops/s in aggregate (0 = closed loop),
+//	             for -duration; reports ops/s and latency percentiles
+//
+// The bench mode measures latency from each operation's *scheduled* send
+// time, not the actual send time, so a stalled server inflates the
+// percentiles instead of silently thinning the load (the coordinated-
+// omission correction).
+//
+//wf:blocking load generator: sockets and timers; makes no wait-freedom claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"waitfree/internal/seqspec"
+	"waitfree/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7450", "server address")
+	mode := flag.String("mode", "bench", "fill | check | bench")
+	conns := flag.Int("conns", 64, "concurrent connections")
+	keys := flag.Int64("keys", 4096, "key-space size")
+	readFrac := flag.Float64("read-frac", 0.9, "fraction of reads in bench mode")
+	rate := flag.Float64("rate", 0, "aggregate target ops/s (0 = closed loop)")
+	dur := flag.Duration("duration", 5*time.Second, "bench duration")
+	jsonOut := flag.Bool("json", false, "emit one JSON result line")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "fill":
+		err = fill(*addr, *conns, *keys)
+	case "check":
+		err = check(*addr, *conns, *keys)
+	case "bench":
+		err = bench(*addr, *conns, *keys, *readFrac, *rate, *dur, *jsonOut)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// fillValue is the deterministic value check expects under key k.
+func fillValue(k int64) int64 { return k*3 + 1 }
+
+// forEachKey partitions the key space across conns workers and runs fn on
+// each worker's slice of keys over its own connection.
+func forEachKey(addr string, conns int, keys int64, fn func(cl *server.Client, k int64) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for k := int64(w); k < keys; k += int64(conns) {
+				if err := fn(cl, k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs // nil when the channel is empty
+}
+
+func fill(addr string, conns int, keys int64) error {
+	start := time.Now()
+	err := forEachKey(addr, conns, keys, func(cl *server.Client, k int64) error {
+		_, err := cl.Put(k, fillValue(k))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("filled %d keys over %d conns in %v\n", keys, conns, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func check(addr string, conns int, keys int64) error {
+	err := forEachKey(addr, conns, keys, func(cl *server.Client, k int64) error {
+		v, err := cl.Get(k)
+		if err != nil {
+			return err
+		}
+		if v != fillValue(k) {
+			return fmt.Errorf("key %d = %d, want %d (acked write lost)", k, v, fillValue(k))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked %d keys: all present\n", keys)
+	return nil
+}
+
+func bench(addr string, conns int, keys int64, readFrac, rate float64, dur time.Duration, jsonOut bool) error {
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(conns) / rate * float64(time.Second))
+	}
+	type result struct {
+		lats []time.Duration
+		ops  int64
+		errs int64
+	}
+	results := make([]result, conns)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				results[w].errs++
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			res := &results[w]
+			res.lats = make([]time.Duration, 0, 1<<14)
+			next := time.Now()
+			for time.Now().Before(stop) {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				} else {
+					next = time.Now()
+				}
+				var op seqspec.Op
+				k := rng.Int63n(keys)
+				if rng.Float64() < readFrac {
+					op = seqspec.Op{Kind: "get", Args: []int64{k}}
+				} else {
+					op = seqspec.Op{Kind: "put", Args: []int64{k, rng.Int63()}}
+				}
+				_, err := cl.Do(op)
+				if err != nil {
+					res.errs++
+					return
+				}
+				// Latency from the scheduled instant, not the send.
+				res.lats = append(res.lats, time.Since(next))
+				res.ops++
+				next = next.Add(interval)
+			}
+		}(w)
+	}
+	started := time.Now()
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	var all []time.Duration
+	var ops, errCount int64
+	for i := range results {
+		all = append(all, results[i].lats...)
+		ops += results[i].ops
+		errCount += results[i].errs
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no operations completed (%d errors)", errCount)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration { return all[int(float64(len(all)-1)*p)] }
+	opsPerSec := float64(ops) / elapsed.Seconds()
+	if jsonOut {
+		fmt.Printf(`{"conns":%d,"ops":%d,"errors":%d,"ops_per_sec":%.0f,"p50_us":%.1f,"p99_us":%.1f,"p999_us":%.1f}`+"\n",
+			conns, ops, errCount, opsPerSec,
+			float64(pct(0.50).Microseconds()), float64(pct(0.99).Microseconds()), float64(pct(0.999).Microseconds()))
+	} else {
+		fmt.Printf("conns=%d ops=%d errors=%d ops/s=%.0f p50=%v p99=%v p999=%v\n",
+			conns, ops, errCount, opsPerSec, pct(0.50), pct(0.99), pct(0.999))
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d operations failed", errCount)
+	}
+	return nil
+}

@@ -263,6 +263,205 @@ func TestLogGCSpacePin(t *testing.T) {
 	}
 }
 
+// TestDetachUnpinsMark is the departed-client regression test: a pid that
+// stops invoking freezes its observed-prefix register, and before Detach
+// existed that frozen register pinned the low-water mark forever — the
+// leak that turns real the moment pids are leased to network connections.
+// Detach must swing the register out of the min-scan so the mark advances
+// past it, and the pid's next Invoke must re-arm it safely (adopting the
+// gate, never walking below a sever that happened while it was away).
+func TestDetachUnpinsMark(t *testing.T) {
+	fac := NewSwapFAC()
+	u := NewUniversal(seqspec.Counter{}, fac, 2, WithLogGC(1))
+	for i := 0; i < 10; i++ {
+		u.Invoke(1, inc) // the departing client's short session
+	}
+	for i := 0; i < 100; i++ {
+		u.Invoke(0, inc)
+	}
+	pinned := u.Anchor()
+	if pinned == 0 || pinned > 11 {
+		t.Fatalf("anchor = %d, want pinned at the departed pid's register (1..11)", pinned)
+	}
+	// Frozen: however much pid 0 writes, the mark cannot pass pid 1's
+	// register while pid 1 is still attached.
+	for i := 0; i < 100; i++ {
+		u.Invoke(0, inc)
+	}
+	if a := u.Anchor(); a != pinned {
+		t.Fatalf("anchor moved %d -> %d while the idle pid was still attached", pinned, a)
+	}
+	u.Detach(1)
+	for i := 0; i < 100; i++ {
+		u.Invoke(0, inc)
+	}
+	if a := u.Anchor(); a <= pinned {
+		t.Errorf("anchor = %d after Detach(1) and 100 writes, still pinned at %d", a, pinned)
+	}
+	if m := u.Min(); m <= pinned {
+		t.Errorf("Min() = %d still includes the detached register (pinned %d)", m, pinned)
+	}
+	// Re-attach: the pid's next invoke (a read suffices) re-arms the
+	// register at or above the gate and serves correct state off the
+	// truncated log.
+	if got := u.Invoke(1, get); got != 310 {
+		t.Errorf("re-attached read = %d, want 310", got)
+	}
+	slot := &u.gc.observed[1]
+	if !slot.att.Load() {
+		t.Error("Invoke did not re-attach the register")
+	}
+	if v, g := slot.v.Load(), u.gc.gate.Load(); v < g {
+		t.Errorf("re-attached register %d below the gate %d; a future walk could race a sever", v, g)
+	}
+}
+
+// TestLogGCSpacePinUnderChurn is the connection-churn space pin — the
+// lease-pool scenario: sessions acquire a pid, write a little, and depart
+// via Detach, exactly what a TCP front end does per connection. Half the
+// workers leave for good after one session; the survivors keep going for
+// the bulk of the ops. With Detach the retained log stays bounded by the
+// live session count (same O(n·snapEvery + n·gcEvery) shape as
+// TestLogGCSpacePin); pre-fix, the departed pids' frozen registers anchor
+// the log at their first-session indices and the live list grows without
+// bound — linearly in the op count.
+func TestLogGCSpacePinUnderChurn(t *testing.T) {
+	const n, snapEvery, gcEvery, opsPerSession = 8, 4, 8, 64
+	sessions := 500 // per surviving worker; 4·500·64 + 4·64 ≈ 128k ops total
+	if testing.Short() {
+		sessions = 50
+	}
+	fac := NewSwapFAC()
+	u := NewUniversal(seqspec.Counter{}, fac, n,
+		WithLogGC(gcEvery), WithSnapshotInterval(snapEvery))
+	stop := make(chan struct{})
+	var adv sync.WaitGroup
+	adv.Add(1)
+	go func() { // concurrent advancer, as aggressive as the soak's
+		defer adv.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				u.gcAdvance()
+				runtime.Gosched()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		rounds := sessions
+		if p >= n/2 {
+			rounds = 1 // departed clients: one session, then gone forever
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < rounds; s++ {
+				for i := 0; i < opsPerSession; i++ {
+					u.Invoke(p, inc) // first op of the session re-attaches
+				}
+				u.Detach(p)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	adv.Wait()
+	// Quiesce with one short surviving session and a final advance.
+	for i := 0; i < 2*gcEvery; i++ {
+		u.Invoke(0, inc)
+	}
+	u.gcAdvance()
+	u.Detach(0)
+
+	total := (n/2)*sessions*opsPerSession + (n/2)*opsPerSession + 2*gcEvery
+	if got := fac.Head().Len; got != total {
+		t.Fatalf("head.Len = %d, want %d", got, total)
+	}
+	bound := 4*n*snapEvery + 2*n*gcEvery + 4*gcEvery + opsPerSession
+	if got := listLen(fac.Head()); got > bound {
+		t.Errorf("live list %d nodes after %d ops under churn, want <= %d (departed pids must not pin)",
+			got, total, bound)
+	}
+	if retired := u.Retired(); retired < int64(total-bound) {
+		t.Errorf("retired %d of %d entries, want >= %d", retired, total, total-bound)
+	}
+	if got := u.Invoke(1, get); got != int64(total) {
+		t.Errorf("counter reads %d, want %d", got, total)
+	}
+}
+
+// TestDetachSoakLinearizable hammers the re-attachment protocol under
+// -race: every worker detaches between bursts, so each burst's first walk
+// is a genuine re-attach racing the dedicated advancer's sever — the
+// interleaving the gate-validate/rescan rules exist for. Histories must
+// stay linearizable across both fetch-and-cons forms, batched and not.
+func TestDetachSoakLinearizable(t *testing.T) {
+	const n = 4
+	obj := seqspec.KV{}
+	for name, mk := range facMakers(n) {
+		for _, batched := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/batched=%v", name, batched), func(t *testing.T) {
+				for trial := 0; trial < 4; trial++ {
+					opts := []Option{WithLogGC(1), WithSnapshotInterval(2)}
+					if batched {
+						opts = append(opts, WithBatching())
+					}
+					u := NewUniversal(obj, mk(), n, opts...)
+					var rec linearize.Recorder
+					stop := make(chan struct{})
+					var adv sync.WaitGroup
+					adv.Add(1)
+					go func() {
+						defer adv.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+								u.gcAdvance()
+								runtime.Gosched()
+							}
+						}
+					}()
+					var wg sync.WaitGroup
+					for p := 0; p < n; p++ {
+						p := p
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							rng := rand.New(rand.NewSource(int64(trial*n + p)))
+							for burst := 0; burst < 4; burst++ {
+								for i := 0; i < 4; i++ {
+									op := fastReadMixOp(obj.Name(), rng, false)
+									ts := rec.Invoke()
+									resp := u.Invoke(p, op)
+									rec.Complete(p, op, resp, ts)
+								}
+								u.Detach(p)
+								runtime.Gosched()
+							}
+						}()
+					}
+					wg.Wait()
+					close(stop)
+					adv.Wait()
+					h := rec.History()
+					if res := linearize.Check(obj, h); !res.OK {
+						for _, e := range h {
+							t.Logf("  %s", e)
+						}
+						t.Fatalf("trial %d: history not linearizable under detach churn", trial)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestLogGCSoakLinearizable is the -race soak hammer: concurrent writers and
 // readers over both fetch-and-cons constructions, batched and not, with the
 // mark advanced as aggressively as possible — every write attempts it

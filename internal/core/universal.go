@@ -262,6 +262,7 @@ func (u *Universal) Metrics() *wfstats.Registry { return u.metrics }
 // that completed before the read was invoked and only entries whose order
 // is decided, so the read takes effect atomically at the load.
 func (u *Universal) Invoke(pid int, op seqspec.Op) int64 {
+	u.gcAttach(pid) // (re-)arm pid's GC register before any walk; see Detach
 	if u.fastRead && u.seq.ReadOnly(op) {
 		return u.readFast(pid, op)
 	}
@@ -413,6 +414,10 @@ type Handle struct {
 
 // Invoke executes op on behalf of the handle's process.
 func (h *Handle) Invoke(op seqspec.Op) int64 { return h.u.Invoke(h.pid, op) }
+
+// Detach releases the handle's GC pin; see Universal.Detach. Call it when
+// the front end is done operating (e.g. before returning a leased pid).
+func (h *Handle) Detach() { h.u.Detach(h.pid) }
 
 // Pid returns the process id this handle drives.
 func (h *Handle) Pid() int { return h.pid }

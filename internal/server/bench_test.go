@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchConns runs a read-heavy closed-loop workload over `conns` real TCP
+// connections against an in-process server and reports ops/s and latency
+// percentiles. This is the service-tier headline number: thousands of
+// kernel sockets multiplexed onto one wait-free sharded KV.
+func benchConns(b *testing.B, conns int, persist bool) {
+	cfg := Config{Addr: "127.0.0.1:0", Shards: 16, Procs: conns + 8}
+	if persist {
+		cfg.Dir = b.TempDir()
+		cfg.SnapshotEvery = 1 << 16
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Close()
+	addr := s.Addr().String()
+
+	clients := make([]*Client, conns)
+	for i := range clients {
+		cl, err := Dial(addr)
+		if err != nil {
+			b.Fatalf("Dial %d: %v", i, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+	// Seed the key space so reads hit.
+	const keys = 4096
+	for k := int64(0); k < keys; k++ {
+		if _, err := clients[0].Put(k, k); err != nil {
+			b.Fatalf("seed put: %v", err)
+		}
+	}
+
+	// Run at least a few ops per connection even on the harness's small
+	// first rounds, so the reported percentiles always reflect the full
+	// fleet. (The custom metrics are computed from the real op count.)
+	total := int64(b.N)
+	if min := int64(conns) * 4; total < min {
+		total = min
+	}
+	var remaining atomic.Int64
+	remaining.Store(total)
+	lats := make([][]time.Duration, conns)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w]
+			rng := rand.New(rand.NewSource(int64(w)*9176 + 1))
+			mine := make([]time.Duration, 0, 1024)
+			for remaining.Add(-1) >= 0 {
+				k := rng.Int63n(keys)
+				t0 := time.Now()
+				var err error
+				if rng.Intn(10) == 0 {
+					_, err = cl.Put(k, int64(w))
+				} else {
+					_, err = cl.Get(k)
+				}
+				if err != nil {
+					b.Errorf("conn %d: %v", w, err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, m := range lats {
+		all = append(all, m...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		return float64(all[int(float64(len(all)-1)*p)].Microseconds())
+	}
+	b.ReportMetric(float64(len(all))/elapsed.Seconds(), "ops/s")
+	b.ReportMetric(pct(0.50), "p50-µs")
+	b.ReportMetric(pct(0.99), "p99-µs")
+	b.ReportMetric(pct(0.999), "p999-µs")
+}
+
+func BenchmarkServer(b *testing.B) {
+	for _, conns := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			benchConns(b, conns, false)
+		})
+	}
+	b.Run("conns=1024/persist", func(b *testing.B) {
+		benchConns(b, 1024, true)
+	})
+}

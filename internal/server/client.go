@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bufio"
+	"net"
+
+	"waitfree/internal/seqspec"
+	"waitfree/internal/wire"
+)
+
+// Client is a single-connection front end to a Server. It is not safe for
+// concurrent use — give each goroutine its own Client (that is the point:
+// one client, one leased pid on the server side).
+//
+// The split Send/Flush/Recv surface exists for pipelining: a load
+// generator queues several requests, flushes once, then drains the
+// responses, which come back in request order.
+type Client struct {
+	c      net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+	rbuf   []byte
+	wbuf   []byte
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, 4096),
+		bw: bufio.NewWriterSize(c, 4096),
+	}, nil
+}
+
+// Send queues one request without flushing and returns its id.
+func (cl *Client) Send(op seqspec.Op) (uint64, error) {
+	cl.nextID++
+	id := cl.nextID
+	cl.wbuf = wire.AppendRequest(cl.wbuf[:0], id, op)
+	return id, wire.WriteFrame(cl.bw, cl.wbuf)
+}
+
+// Flush pushes queued requests onto the socket.
+func (cl *Client) Flush() error { return cl.bw.Flush() }
+
+// Recv reads the next response. A server-side refusal surfaces as a
+// *wire.RemoteError with the id of the refused request.
+func (cl *Client) Recv() (uint64, int64, error) {
+	payload, err := wire.ReadFrame(cl.br, cl.rbuf)
+	if err != nil {
+		return 0, 0, err
+	}
+	cl.rbuf = payload
+	return wire.DecodeReply(payload)
+}
+
+// Do sends one request and waits for its response.
+func (cl *Client) Do(op seqspec.Op) (int64, error) {
+	id, err := cl.Send(op)
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.Flush(); err != nil {
+		return 0, err
+	}
+	rid, v, err := cl.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if rid != id {
+		return 0, &wire.RemoteError{Reason: "response id mismatch"}
+	}
+	return v, nil
+}
+
+// Put stores v under k.
+func (cl *Client) Put(k, v int64) (int64, error) {
+	return cl.Do(seqspec.Op{Kind: "put", Args: []int64{k, v}})
+}
+
+// Get reads k (seqspec.Empty when absent).
+func (cl *Client) Get(k int64) (int64, error) {
+	return cl.Do(seqspec.Op{Kind: "get", Args: []int64{k}})
+}
+
+// Del removes k.
+func (cl *Client) Del(k int64) (int64, error) {
+	return cl.Do(seqspec.Op{Kind: "del", Args: []int64{k}})
+}
+
+// Len reads the map size (a cross-shard sum; see the Sharded contract).
+func (cl *Client) Len() (int64, error) {
+	return cl.Do(seqspec.Op{Kind: "len"})
+}
+
+// Close closes the connection (the server Detaches the leased pid).
+func (cl *Client) Close() error { return cl.c.Close() }

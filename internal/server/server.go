@@ -1,0 +1,487 @@
+// Package server is the networked service tier: a TCP front end that
+// multiplexes many client connections onto one waitfree sharded KV, with
+// optional crash recovery through internal/logstore.
+//
+// Division of labour with the core: everything in this package is ordinary
+// blocking Go — goroutines, channels, sockets, fsync — while every shared
+// datum behind it is the wait-free universal construction. The boundary is
+// the pid lease pool: a connection leases a process id for its lifetime,
+// drives reads through it, and on disconnect calls Detach(pid) before
+// returning the pid to the pool, releasing the departed client's log-GC pin
+// (the PR 8 bugfix; without the Detach, every pid that ever went idle pinned
+// the low-water mark forever and the decided logs grew without bound under
+// connection churn).
+//
+// Persistence (Config.Dir != "") follows persist-before-apply: writes are
+// routed to a per-shard applier goroutine that assigns the shard's next
+// dense sequence number, appends the record to the log store (group commit:
+// concurrent appliers share one fsync), and only then applies the operation
+// to the in-memory KV and acks the client. An acked write is therefore on
+// disk before any client observes it, which is exactly what boot-time
+// replay reconstructs — durable linearizability. Reads never touch the
+// store; they go straight through the connection's leased pid.
+//
+//wf:blocking service tier at the syscall boundary: sockets, fsync and channels block by design; all wait-freedom claims live below, in the objects this package fronts
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"waitfree"
+	"waitfree/internal/logstore"
+	"waitfree/internal/seqspec"
+	"waitfree/internal/shard"
+	"waitfree/internal/wfstats"
+	"waitfree/internal/wire"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	Addr          string                           // TCP listen address, e.g. ":7450"; ":0" for ephemeral
+	StatsAddr     string                           // HTTP stats address; "" disables the stats server
+	Shards        int                              // KV shard count (default 8)
+	Procs         int                              // connection pid pool size (default 64)
+	Dir           string                           // log store directory; "" runs without persistence
+	SnapshotEvery int                              // records per shard between snapshots (default 4096)
+	Logf          func(format string, args ...any) // nil silences logging
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Procs <= 0 {
+		c.Procs = 64
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// applyReq is one write handed to a shard applier; resp carries the ack
+// back to the connection after the record is durable and applied.
+type applyReq struct {
+	op   seqspec.Op
+	resp chan applyRes
+}
+
+type applyRes struct {
+	v   int64
+	err error
+}
+
+// Server is a running service-tier instance.
+type Server struct {
+	cfg   Config
+	kv    *shard.Sharded
+	store *logstore.Store // nil when running without persistence
+	reg   *wfstats.Registry
+
+	ln      net.Listener
+	statsLn net.Listener
+	pool    chan int // free connection pids
+
+	appliers []chan applyReq // one per shard; nil when store == nil
+
+	connsActive atomic.Int64
+	connsTotal  *wfstats.Counter
+	opsServed   *wfstats.Counter
+	opsRefused  *wfstats.Counter
+	leaseMiss   *wfstats.Counter
+	recsLogged  *wfstats.Counter
+	snapsTaken  *wfstats.Counter
+
+	closed atomic.Bool
+	connWG sync.WaitGroup // connection handlers
+	loopWG sync.WaitGroup // accept loop, stats server, appliers
+}
+
+// New builds the KV, replays the log store if a directory is configured,
+// and binds the listeners. The server does not accept connections until
+// Start.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	reg := wfstats.NewRegistry()
+	kv := waitfree.NewShardedKV(cfg.Shards, cfg.Procs+cfg.Shards,
+		func() waitfree.FetchAndCons { return waitfree.NewSwapFetchAndCons() },
+		waitfree.WithMetrics(reg))
+	kv.Instrument(reg)
+
+	s := &Server{
+		cfg:        cfg,
+		kv:         kv,
+		reg:        reg,
+		pool:       make(chan int, cfg.Procs),
+		connsTotal: reg.Counter("server.conns_total"),
+		opsServed:  reg.Counter("server.ops"),
+		opsRefused: reg.Counter("server.ops_refused"),
+		leaseMiss:  reg.Counter("server.lease_miss"),
+		recsLogged: reg.Counter("server.records_logged"),
+		snapsTaken: reg.Counter("server.snapshots"),
+	}
+	reg.GaugeFunc("server.conns_active", s.connsActive.Load)
+	for pid := 0; pid < cfg.Procs; pid++ {
+		s.pool <- pid
+	}
+
+	if cfg.Dir != "" {
+		st, err := logstore.Open(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.startAppliers(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.stopAppliers()
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
+	s.ln = ln
+	if cfg.StatsAddr != "" {
+		sln, err := net.Listen("tcp", cfg.StatsAddr)
+		if err != nil {
+			ln.Close()
+			s.stopAppliers()
+			if s.store != nil {
+				s.store.Close()
+			}
+			return nil, err
+		}
+		s.statsLn = sln
+	}
+	return s, nil
+}
+
+// applierPid returns the pid reserved for shard sh's applier goroutine
+// (appliers occupy the pid range above the connection pool).
+func (s *Server) applierPid(sh int) int { return s.cfg.Procs + sh }
+
+// startAppliers replays the store into the fresh KV and launches one
+// applier goroutine per shard. Replay order matches commit order: the
+// newest validated snapshot per shard first (its keys hash back to the
+// same shard by construction), then every durable log record above it.
+func (s *Server) startAppliers() error {
+	shadows := make([]map[int64]int64, s.cfg.Shards)
+	nextSeq := make([]uint64, s.cfg.Shards)
+	for i := range shadows {
+		shadows[i] = make(map[int64]int64)
+		nextSeq[i] = 1
+	}
+	snaps, err := s.store.Snapshots()
+	if err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		sh := int(snap.Shard)
+		if sh >= s.cfg.Shards {
+			return fmt.Errorf("server: store has shard %d, server configured with %d shards", sh, s.cfg.Shards)
+		}
+		pid := s.applierPid(sh)
+		for k, v := range snap.State {
+			s.kv.Invoke(pid, seqspec.Op{Kind: "put", Args: []int64{k, v}})
+			shadows[sh][k] = v
+		}
+		nextSeq[sh] = snap.Seq + 1
+	}
+	sinceSnap := make([]int, s.cfg.Shards)
+	err = s.store.Replay(func(rec logstore.Record) error {
+		sh := int(rec.Shard)
+		if sh >= s.cfg.Shards {
+			return fmt.Errorf("server: record for shard %d, server configured with %d shards", sh, s.cfg.Shards)
+		}
+		s.kv.Invoke(s.applierPid(sh), rec.Op)
+		applyShadow(shadows[sh], rec.Op)
+		nextSeq[sh] = rec.Seq + 1
+		sinceSnap[sh]++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.appliers = make([]chan applyReq, s.cfg.Shards)
+	for sh := 0; sh < s.cfg.Shards; sh++ {
+		ch := make(chan applyReq, 256)
+		s.appliers[sh] = ch
+		s.loopWG.Add(1)
+		go s.runApplier(sh, ch, shadows[sh], nextSeq[sh], sinceSnap[sh])
+	}
+	return nil
+}
+
+func applyShadow(shadow map[int64]int64, op seqspec.Op) {
+	switch op.Kind {
+	case "put":
+		shadow[op.Arg(0)] = op.Arg(1)
+	case "del":
+		delete(shadow, op.Arg(0))
+	}
+}
+
+// runApplier is shard sh's single writer: it drains a batch of pending
+// writes, persists them as one group (the store's flusher merges groups
+// from concurrent appliers into one fsync), then applies and acks each.
+// Applying strictly after Append returns is the durability contract —
+// no client can observe a write that a crash could lose.
+func (s *Server) runApplier(sh int, ch chan applyReq, shadow map[int64]int64, seq uint64, sinceSnap int) {
+	defer s.loopWG.Done()
+	pid := s.applierPid(sh)
+	batch := make([]applyReq, 0, 64)
+	recs := make([]logstore.Record, 0, 64)
+	for req := range ch {
+		batch = append(batch[:0], req)
+	gather:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, more)
+			default:
+				break gather
+			}
+		}
+		recs = recs[:0]
+		for i := range batch {
+			recs = append(recs, logstore.Record{Shard: uint32(sh), Seq: seq + uint64(i), Op: batch[i].op})
+		}
+		if err := s.store.Append(recs); err != nil {
+			for i := range batch {
+				batch[i].resp <- applyRes{err: err}
+			}
+			continue
+		}
+		seq += uint64(len(batch))
+		s.recsLogged.Add(int64(len(batch)))
+		for i := range batch {
+			v := s.kv.Invoke(pid, batch[i].op)
+			applyShadow(shadow, batch[i].op)
+			batch[i].resp <- applyRes{v: v}
+		}
+		sinceSnap += len(batch)
+		if sinceSnap >= s.cfg.SnapshotEvery {
+			sinceSnap = 0
+			snap := logstore.Snapshot{Shard: uint32(sh), Seq: seq - 1, State: shadow}
+			if err := s.store.WriteSnapshot(snap); err != nil {
+				s.cfg.Logf("server: shard %d snapshot: %v", sh, err)
+				continue
+			}
+			s.snapsTaken.Inc()
+			if _, err := s.store.Compact(); err != nil {
+				s.cfg.Logf("server: compact: %v", err)
+			}
+		}
+	}
+}
+
+func (s *Server) stopAppliers() {
+	for _, ch := range s.appliers {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	s.appliers = nil
+}
+
+// Start begins accepting connections (and serving stats, if configured).
+// It returns immediately; use Close to stop.
+func (s *Server) Start() {
+	s.loopWG.Add(1)
+	go s.acceptLoop()
+	if s.statsLn != nil {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			s.reg.WriteJSON(w)
+		})
+		mux.HandleFunc("/stats.txt", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.reg.WriteText(w)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			json.NewEncoder(w).Encode(map[string]any{"ok": true, "conns": s.connsActive.Load()})
+		})
+		srv := &http.Server{Handler: mux}
+		s.loopWG.Add(1)
+		go func() {
+			defer s.loopWG.Done()
+			srv.Serve(s.statsLn)
+		}()
+	}
+}
+
+// Addr returns the listener's address (useful with Addr ":0" in tests).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// StatsAddr returns the stats listener's address, or nil if disabled.
+func (s *Server) StatsAddr() net.Addr {
+	if s.statsLn == nil {
+		return nil
+	}
+	return s.statsLn.Addr()
+}
+
+// Metrics exposes the server's registry (shared with the KV shards).
+func (s *Server) Metrics() *wfstats.Registry { return s.reg }
+
+// KV exposes the underlying sharded object for white-box tests.
+func (s *Server) KV() *shard.Sharded { return s.kv }
+
+func (s *Server) acceptLoop() {
+	defer s.loopWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// errNoFreePid is the reason sent (with request id 0) when the pid pool is
+// exhausted; the connection is then closed.
+const errNoFreePid = "no free pid: connection pool exhausted"
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer c.Close()
+	s.connsTotal.Inc()
+
+	var pid int
+	select {
+	case pid = <-s.pool:
+	default:
+		s.leaseMiss.Inc()
+		wire.WriteFrame(c, wire.AppendError(nil, 0, errNoFreePid))
+		return
+	}
+	s.connsActive.Add(1)
+	defer func() {
+		// The departed-client fix: swing this pid's observed-prefix
+		// register out of every shard's min-scan before the pid goes
+		// back in the pool, so an idle pool slot cannot pin log GC.
+		s.kv.Detach(pid)
+		s.connsActive.Add(-1)
+		s.pool <- pid
+	}()
+
+	br := bufio.NewReaderSize(c, 4096)
+	bw := bufio.NewWriterSize(c, 4096)
+	var rbuf, wbuf []byte
+	for {
+		payload, err := wire.ReadFrame(br, rbuf)
+		if err != nil {
+			return // clean EOF, torn frame or oversize — all end the conn
+		}
+		rbuf = payload
+		id, op, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// The stream itself is untrustworthy past a malformed
+			// request; answer once and hang up.
+			s.opsRefused.Inc()
+			wbuf = wire.AppendError(wbuf[:0], id, "malformed request: "+err.Error())
+			wire.WriteFrame(bw, wbuf)
+			bw.Flush()
+			return
+		}
+		if reason := validateOp(op); reason != "" {
+			// A well-framed but unsupported op is the client's bug, not
+			// a protocol failure; refuse it and keep the connection.
+			// (KVRouter panics on unknown kinds — a hostile peer must
+			// not reach it.)
+			s.opsRefused.Inc()
+			wbuf = wire.AppendError(wbuf[:0], id, reason)
+		} else {
+			var v int64
+			if s.store != nil && (op.Kind == "put" || op.Kind == "del") {
+				res := s.applyDurable(op)
+				if res.err != nil {
+					wbuf = wire.AppendError(wbuf[:0], id, "persist: "+res.err.Error())
+					wire.WriteFrame(bw, wbuf)
+					bw.Flush()
+					return
+				}
+				v = res.v
+			} else {
+				v = s.kv.Invoke(pid, op)
+			}
+			s.opsServed.Inc()
+			wbuf = wire.AppendResponse(wbuf[:0], id, v)
+		}
+		if err := wire.WriteFrame(bw, wbuf); err != nil {
+			return
+		}
+		// Pipelining: only pay the syscall when the read side has gone
+		// quiet; back-to-back requests share one flush.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// applyDurable routes one write through its shard's applier.
+func (s *Server) applyDurable(op seqspec.Op) applyRes {
+	sh := s.kv.ShardOf(op.Arg(0))
+	resp := make(chan applyRes, 1)
+	s.appliers[sh] <- applyReq{op: op, resp: resp}
+	return <-resp
+}
+
+// validateOp admits exactly the KV surface the router understands; the
+// empty string means valid.
+func validateOp(op seqspec.Op) string {
+	var want int
+	switch op.Kind {
+	case "put":
+		want = 2
+	case "get", "del":
+		want = 1
+	case "len":
+		want = 0
+	default:
+		return "unknown op kind " + fmt.Sprintf("%q", op.Kind)
+	}
+	if len(op.Args) != want {
+		return fmt.Sprintf("op %q takes %d args, got %d", op.Kind, want, len(op.Args))
+	}
+	return ""
+}
+
+// Close stops accepting, waits for in-flight connections, drains the
+// appliers (every acked write is already durable) and closes the store.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.ln.Close()
+	if s.statsLn != nil {
+		s.statsLn.Close()
+	}
+	s.connWG.Wait()
+	s.stopAppliers()
+	s.loopWG.Wait()
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}

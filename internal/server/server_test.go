@@ -1,0 +1,323 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"waitfree/internal/linearize"
+	"waitfree/internal/seqspec"
+	"waitfree/internal/wire"
+)
+
+// startServer boots a test server on ephemeral ports and returns it with a
+// cleanup. dir == "" runs without persistence.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestServerBasicOps: the whole KV surface works over a real socket.
+func TestServerBasicOps(t *testing.T) {
+	s := startServer(t, Config{Shards: 4, Procs: 8})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	if v, err := cl.Put(1, 10); err != nil || v != seqspec.Empty {
+		t.Fatalf("put(1,10) = (%d, %v)", v, err)
+	}
+	if v, err := cl.Get(1); err != nil || v != 10 {
+		t.Fatalf("get(1) = (%d, %v), want 10", v, err)
+	}
+	if v, err := cl.Len(); err != nil || v != 1 {
+		t.Fatalf("len = (%d, %v), want 1", v, err)
+	}
+	if v, err := cl.Del(1); err != nil || v != 10 {
+		t.Fatalf("del(1) = (%d, %v), want 10", v, err)
+	}
+	if v, err := cl.Get(1); err != nil || v != seqspec.Empty {
+		t.Fatalf("get(1) after del = (%d, %v), want Empty", v, err)
+	}
+}
+
+// TestServerPipelining: many requests queued before one flush come back in
+// request order with matching ids.
+func TestServerPipelining(t *testing.T) {
+	s := startServer(t, Config{Shards: 4, Procs: 8})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	const n = 100
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := cl.Send(seqspec.Op{Kind: "put", Args: []int64{int64(i), int64(i * 2)}})
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		ids[i] = id
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		id, _, err := cl.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if id != ids[i] {
+			t.Fatalf("response %d has id %d, want %d (responses must preserve request order)", i, id, ids[i])
+		}
+	}
+	if v, err := cl.Get(n - 1); err != nil || v != (n-1)*2 {
+		t.Fatalf("get(%d) = (%d, %v), want %d", n-1, v, err, (n-1)*2)
+	}
+}
+
+// TestServerRefusesBadOps: unknown kinds and wrong arities come back as
+// RemoteErrors without killing the connection; the KVRouter panic for
+// unknown kinds must never be reachable from the socket.
+func TestServerRefusesBadOps(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 4})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	bad := []seqspec.Op{
+		{Kind: "enq", Args: []int64{1}},
+		{Kind: "put", Args: []int64{1}},
+		{Kind: "len", Args: []int64{1}},
+		{Kind: ""},
+	}
+	for _, op := range bad {
+		if _, err := cl.Do(op); err == nil {
+			t.Fatalf("op %s accepted, want RemoteError", op)
+		} else if _, ok := err.(*wire.RemoteError); !ok {
+			t.Fatalf("op %s: err = %v, want *wire.RemoteError", op, err)
+		}
+	}
+	// Connection survived the refusals.
+	if v, err := cl.Put(5, 50); err != nil || v != seqspec.Empty {
+		t.Fatalf("put after refusals = (%d, %v)", v, err)
+	}
+	if v, err := cl.Get(5); err != nil || v != 50 {
+		t.Fatalf("get after refusals = (%d, %v), want 50", v, err)
+	}
+}
+
+// TestServerMalformedFrame: a syntactically broken payload gets one error
+// frame and a hangup, not a panic or a hang.
+func TestServerMalformedFrame(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 4})
+	c, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := wire.WriteFrame(c, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := wire.ReadFrame(c, nil)
+	if err != nil {
+		t.Fatalf("expected an error frame before hangup, got %v", err)
+	}
+	if _, _, err := wire.DecodeReply(payload); err == nil {
+		t.Fatalf("reply to garbage decoded as success")
+	}
+	// Server must now close; next read is EOF.
+	if _, err := wire.ReadFrame(c, nil); err == nil {
+		t.Fatalf("connection stayed open after malformed request")
+	}
+}
+
+// TestServerPoolExhausted: with a single pid, a second concurrent
+// connection is refused with the documented reason, and the slot frees up
+// once the first client leaves.
+func TestServerPoolExhausted(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 1})
+	first, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := first.Put(1, 1); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	second, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	_, _, err = second.Recv()
+	re, ok := err.(*wire.RemoteError)
+	if !ok || re.Reason != errNoFreePid {
+		t.Fatalf("second conn err = %v, want RemoteError(%q)", err, errNoFreePid)
+	}
+	second.Close()
+	first.Close()
+	// The leased pid must come back: poll until a fresh connection works.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		third, err := Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		v, err := third.Get(1)
+		third.Close()
+		if err == nil && v == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pid never returned to the pool: get = (%d, %v)", v, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerConcurrentLinearizable: concurrent clients over real sockets
+// record a history that must linearize against the sequential KV.
+func TestServerConcurrentLinearizable(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 16})
+	const (
+		clients = 6
+		ops     = 12
+		keys    = 2
+	)
+	var rec linearize.Recorder
+	var wg sync.WaitGroup
+	for p := 0; p < clients; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(p) * 7919))
+			for i := 0; i < ops; i++ {
+				var op seqspec.Op
+				switch rng.Intn(3) {
+				case 0:
+					op = seqspec.Op{Kind: "put", Args: []int64{rng.Int63n(keys), rng.Int63n(50)}}
+				case 1:
+					op = seqspec.Op{Kind: "get", Args: []int64{rng.Int63n(keys)}}
+				default:
+					op = seqspec.Op{Kind: "del", Args: []int64{rng.Int63n(keys)}}
+				}
+				ts := rec.Invoke()
+				v, err := cl.Do(op)
+				if err != nil {
+					t.Errorf("Do(%s): %v", op, err)
+					return
+				}
+				rec.Complete(p, op, v, ts)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	res := linearize.Check(seqspec.KV{}, rec.History())
+	if !res.OK {
+		t.Fatalf("history over the socket is not linearizable (%d states searched)", res.States)
+	}
+}
+
+// TestServerLeaseChurnGC is the acceptance test for the departed-client
+// fix: under connection churn — clients that connect, write, and leave —
+// the decided logs keep retiring entries. Before Detach-on-disconnect,
+// every pool pid that had ever served a client pinned the low-water mark
+// at that client's last write forever, so Retired() froze and the logs
+// grew without bound.
+func TestServerLeaseChurnGC(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 4})
+	sessions := 60
+	if testing.Short() {
+		sessions = 20
+	}
+	const opsPerSession = 24
+	var lastRetired int64
+	grew := 0
+	for sess := 0; sess < sessions; sess++ {
+		cl, err := Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		for i := 0; i < opsPerSession; i++ {
+			if _, err := cl.Put(int64(i%8), int64(sess)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		cl.Close()
+		if r := s.KV().Retired(); r > lastRetired {
+			lastRetired = r
+			grew++
+		}
+	}
+	if lastRetired == 0 {
+		t.Fatalf("Retired() never advanced over %d churned sessions: departed clients still pin log GC", sessions)
+	}
+	if grew < 3 {
+		t.Fatalf("Retired() advanced only %d times over %d sessions; GC is effectively pinned", grew, sessions)
+	}
+	t.Logf("retired %d log entries across %d churned sessions", lastRetired, sessions)
+}
+
+// TestServerStatsEndpoint: the HTTP side serves JSON with the server and
+// shard metrics in it.
+func TestServerStatsEndpoint(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, Procs: 4, StatsAddr: "127.0.0.1:0"})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := cl.Put(1, 2); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	cl.Close()
+
+	found := map[string]bool{}
+	for _, smp := range s.Metrics().Snapshot() {
+		found[smp.Name] = true
+	}
+	for _, want := range []string{"server.conns_total", "server.ops", "server.conns_active", "shard.imbalance_pct"} {
+		if !found[want] {
+			t.Errorf("metric %q missing from registry", want)
+		}
+	}
+
+	c, err := net.Dial("tcp", s.StatsAddr().String())
+	if err != nil {
+		t.Fatalf("dial stats: %v", err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /stats HTTP/1.0\r\n\r\n")
+	buf := make([]byte, 1<<16)
+	n, _ := c.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "200 OK") || !strings.Contains(body, "server.ops") {
+		t.Fatalf("stats response missing expected content:\n%s", body)
+	}
+}

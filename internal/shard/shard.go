@@ -108,10 +108,16 @@ func (s *Sharded) Instrument(reg *wfstats.Registry) {
 	s.crossOps = reg.Counter("shard.cross_ops")
 	ops := append([]*wfstats.Counter(nil), s.shardOps...)
 	reg.GaugeFunc("shard.imbalance_pct", func() int64 {
-		var max, total int64
+		// Accumulate and divide in float64: the old int64 product
+		// max·100·S overflowed once the hottest shard passed ~2^63/(100·S)
+		// operations — about 10^15 ops at S=64, months of sustained load on
+		// a long-lived server — and even the plain sum across shards can
+		// pass 2^63 before any single counter does. The quotient itself is
+		// tiny (<= 100·S), so float64's 53-bit mantissa is ample.
+		var max, total float64
 		//wf:bounded [S] one load per shard stripe: ops is a fixed-length copy of the S per-shard counters
 		for _, c := range ops {
-			v := c.Load()
+			v := float64(c.Load())
 			total += v
 			if v > max {
 				max = v
@@ -120,7 +126,7 @@ func (s *Sharded) Instrument(reg *wfstats.Registry) {
 		if total == 0 {
 			return 0
 		}
-		return max * 100 * int64(len(ops)) / total
+		return int64(max / total * 100 * float64(len(ops)))
 	})
 }
 
@@ -146,6 +152,23 @@ func (s *Sharded) Invoke(pid int, op seqspec.Op) int64 {
 	return total
 }
 
+// Detach releases pid's log-GC pin on every shard (core.Universal.Detach):
+// call it when a leased pid's client departs, so a register frozen at the
+// client's last operation stops pinning any shard's low-water mark. Like
+// Invoke, it must be called from pid's thread of control with no operation
+// in flight; the pid re-arms shard by shard on its next invokes. A no-op
+// when log GC is off.
+func (s *Sharded) Detach(pid int) {
+	for _, u := range s.shards {
+		u.Detach(pid)
+	}
+}
+
+// ShardOf reports which shard a partition key routes to — the same hash
+// Invoke uses. Exported for front ends that partition work per shard (the
+// server's persistence appliers) and for tests.
+func (s *Sharded) ShardOf(key int64) int { return s.shardOf(key) }
+
 // Handle returns pid's front end bound to the whole sharded object.
 func (s *Sharded) Handle(pid int) *Handle { return &Handle{s: s, pid: pid} }
 
@@ -157,6 +180,10 @@ type Handle struct {
 
 // Invoke executes op on behalf of the handle's process.
 func (h *Handle) Invoke(op seqspec.Op) int64 { return h.s.Invoke(h.pid, op) }
+
+// Detach releases the handle's log-GC pin on every shard; see
+// Sharded.Detach.
+func (h *Handle) Detach() { h.s.Detach(h.pid) }
 
 // Shards reports the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }

@@ -10,6 +10,7 @@ import (
 	"waitfree/internal/core"
 	"waitfree/internal/linearize"
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 func mkSwap() core.FetchAndCons { return core.NewSwapFAC() }
@@ -180,9 +181,10 @@ func TestKVRouterUnknownOpPanics(t *testing.T) {
 }
 
 // TestShardedLogGC: per-shard low-water marks advance independently and the
-// aggregated accessors report them. Both processes must touch every shard —
-// a shard some registered process never writes keeps its mark pinned at
-// zero, exactly the core protocol's idle-process floor.
+// aggregated accessors report them. Both processes touch every shard, so
+// each shard's mark reflects both registers; a pid that writes only some
+// shards stays detached on the others and doesn't pin them (see
+// TestShardedDetach).
 func TestShardedLogGC(t *testing.T) {
 	const shards, procs, keys = 2, 2, 32
 	s := NewKV(shards, procs, mkSwap, core.WithLogGC(1))
@@ -212,6 +214,95 @@ func TestShardedLogGC(t *testing.T) {
 	for k := int64(0); k < keys; k++ {
 		if got := s.Invoke(0, seqspec.Op{Kind: "get", Args: []int64{k}}); got != 39 {
 			t.Fatalf("get(%d) = %d after GC, want 39", k, got)
+		}
+	}
+}
+
+// TestShardedDetach: the cross-shard half of the departed-client fix. A
+// leased pid typically writes only the shards its keys hash to; registers
+// start detached, so it never pins the shards it skipped, and Detach
+// releases its pin on every shard at once — the marks keep advancing for
+// the surviving pid where they would otherwise freeze.
+func TestShardedDetach(t *testing.T) {
+	const shards, procs = 2, 2
+	s := NewKV(shards, procs, mkSwap, core.WithLogGC(1))
+	// Keys confined to each shard, found via the exported router hash.
+	keyOn := make([]int64, shards)
+	for i := range keyOn {
+		for k := int64(0); ; k++ {
+			if s.ShardOf(k) == i {
+				keyOn[i] = k
+				break
+			}
+		}
+	}
+	// pid 1's brief session touches only shard 0; pid 0 works both shards.
+	for i := 0; i < 10; i++ {
+		s.Invoke(1, seqspec.Op{Kind: "put", Args: []int64{keyOn[0], int64(i)}})
+	}
+	drive := func() {
+		for i := 0; i < 80; i++ {
+			for sh := 0; sh < shards; sh++ {
+				s.Invoke(0, seqspec.Op{Kind: "put", Args: []int64{keyOn[sh], int64(i)}})
+			}
+		}
+	}
+	drive()
+	marks := s.Anchors()
+	if marks[1] <= marks[0] {
+		t.Errorf("shard 1 (pid 1 never attached there) mark %d should outrun shard 0's pinned %d",
+			marks[1], marks[0])
+	}
+	pinned := marks[0]
+	drive()
+	if m := s.Anchors()[0]; m != pinned {
+		t.Fatalf("shard 0 mark moved %d -> %d while the idle pid was attached", pinned, m)
+	}
+	s.Detach(1)
+	drive()
+	if m := s.Anchors()[0]; m <= pinned {
+		t.Errorf("shard 0 mark = %d after Detach(1), still pinned at %d", m, pinned)
+	}
+	if got := s.Invoke(1, seqspec.Op{Kind: "get", Args: []int64{keyOn[0]}}); got != 79 {
+		t.Errorf("re-attached get = %d, want 79", got)
+	}
+}
+
+// TestImbalanceGaugeExtremeCounts pins the imbalance gauge's arithmetic at
+// counter values a long-lived server actually reaches: the old integer
+// form max·100·S/total overflowed int64 once the hottest shard passed
+// 2^63/(100·S) ops and reported a negative percentage. The division must
+// happen in float64.
+func TestImbalanceGaugeExtremeCounts(t *testing.T) {
+	reg := wfstats.NewRegistry()
+	s := NewKV(4, 1, mkSwap)
+	s.Instrument(reg)
+	// A plausibly skewed load after ~a year at full tilt: one hot shard.
+	hot := int64(3) << 61 // ~6.9e18, within int64, far past the overflow point
+	s.shardOps[0].Add(hot)
+	for i := 1; i < 4; i++ {
+		s.shardOps[i].Add(hot / 4)
+	}
+	var got int64 = -1
+	for _, sm := range reg.Snapshot() {
+		if sm.Name == "shard.imbalance_pct" {
+			got = sm.Value
+		}
+	}
+	// max/total = 4/7 of the load on one of 4 shards -> 228%.
+	if got != 228 {
+		t.Errorf("imbalance_pct = %d at extreme counts, want 228 (negative means the product overflowed)", got)
+	}
+	// And the balanced fixed point still reads 100.
+	reg2 := wfstats.NewRegistry()
+	s2 := NewKV(4, 1, mkSwap)
+	s2.Instrument(reg2)
+	for i := 0; i < 4; i++ {
+		s2.shardOps[i].Add(hot / 4)
+	}
+	for _, sm := range reg2.Snapshot() {
+		if sm.Name == "shard.imbalance_pct" && sm.Value != 100 {
+			t.Errorf("balanced imbalance_pct = %d, want 100", sm.Value)
 		}
 	}
 }

@@ -166,13 +166,17 @@ func WithBatching() Option { return core.WithBatching() }
 func WithoutBatching() Option { return core.WithoutBatching() }
 
 // WithLogGC enables low-water-mark log truncation: each front end publishes
-// the log index its replays stop at, and every every-th write per process
+// the log index its replays stop at, and each process's every-th write
 // computes the collective minimum and severs the decided log below it, so
 // Go's collector reclaims the retired tail. Live memory drops from O(total
 // ops) to O(n·snapshot interval + n·every). Requires truncation (snapshots
-// anchor retention); a registered process that never invokes pins the mark,
-// exactly as an idle peer pins a replicated log's Min(). Off by default for
-// New; NewShardedKV turns it on (pass WithoutLogGC to disable there).
+// anchor retention). A process pins the mark at its last published index
+// only while attached — from its first Invoke until it calls Detach —
+// exactly as a live peer pins a replicated log's Min(); detached pids
+// (never arrived, or departed, e.g. returned to a connection lease pool)
+// are skipped by the min-scan and re-arm safely on their next Invoke. Off
+// by default for New; NewShardedKV turns it on (pass WithoutLogGC to
+// disable there).
 func WithLogGC(every int) Option { return core.WithLogGC(every) }
 
 // WithoutLogGC disables low-water-mark log truncation; mainly useful to
@@ -208,12 +212,15 @@ func New(seq Object, fac FetchAndCons, n int, opts ...Option) *Universal {
 // Sharded is a sharded front end: operations are routed by partition key
 // across independent Universal instances, one log per shard. Single-key
 // operations stay linearizable; cross-shard aggregates (len) are sums of
-// per-shard reads taken at different instants.
+// per-shard reads taken at different instants. Front ends that lease pids
+// to transient clients (a connection pool) should call Detach(pid) when a
+// client departs, releasing its log-GC pin on every shard.
 type Sharded = shard.Sharded
 
-// NewShardedKV builds a key-value map hashed across shards independent
-// universal objects, each with its own fetch-and-cons from mk and serving
-// procs processes. For read-dominated, key-partitionable workloads this
+// NewShardedKV builds a key-value map over shards independent universal
+// objects: each key is hashed to one of them, and each has its own
+// fetch-and-cons from mk and serves procs processes. For read-dominated,
+// key-partitionable workloads this
 // scales throughput near-linearly in the shard count. Helping-based write
 // batching (WithBatching) is on by default — writers that contend on one
 // shard are served by a single replay pass — and so is low-water-mark log
