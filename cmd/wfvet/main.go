@@ -5,9 +5,11 @@
 // points, bound certification of //wf:bounded claims, the lock-free retry
 // lint, publication release/acquire pairing, atomic/plain mixed field
 // access, seqspec transition-function purity, the single-writer /
-// monotone / ABA register disciplines, and symbolic step-bound
-// certification of every exported façade operation — and exits non-zero
-// when any claim is violated. Stale-directive warnings (under -all) are
+// monotone / ABA register disciplines, the service-tier crash-durability
+// disciplines (fsyncorder commit ordering on //wf:durable functions,
+// ackpersist persist-before-acknowledge, goown goroutine shutdown
+// ownership), and symbolic step-bound certification of every exported
+// façade operation — and exits non-zero when any claim is violated. Stale-directive warnings (under -all) are
 // advisory unless -strict-stale promotes unallowlisted ones to errors.
 //
 // Usage:
@@ -357,6 +359,9 @@ func writeSARIF(cwd string, res *wfcheck.Result) {
 		"singlewriter": "foreign write to a single-writer per-process slot",
 		"monotone":     "write to a monotone register not provably non-decreasing",
 		"abasafe":      "pointer compare-and-swap without ABA protection",
+		"fsyncorder":   "commit rename without the fsync ordering of a durable function",
+		"ackpersist":   "client-visible acknowledgement not dominated by a persist",
+		"goown":        "goroutine without a declared reachable shutdown edge",
 		"stale":        "directive no analyzer needs any more",
 	}
 	seen := make(map[string]bool)

@@ -38,7 +38,11 @@
 // snapshot) and survives kill -9; an unacknowledged operation may or may
 // not survive, which is the standard ambiguity of any storage interface.
 //
-//wf:blocking persistence tier: fsync, rename and channel handoff are the point — wait-freedom claims stop at the wait-free core this store feeds
+// Wait-freedom claims stop at the wait-free core this store feeds: the
+// public methods carry function-level //wf:blocking (fsync, rename and
+// channel handoff are the point), the write-once commit path is audited by
+// wfvet's fsyncorder analyzer (//wf:durable on writeOnce), and the flusher
+// goroutine's shutdown edge is declared with //wf:owns.
 package logstore
 
 import (
@@ -151,6 +155,8 @@ type snapRef struct {
 // Open opens (creating if needed) the CAS directory at dir: removes tmp-*
 // orphans from a previous crash, indexes the committed log and snapshot
 // files, and starts the group-commit flusher.
+//
+//wf:blocking opens and fsyncs files; launches the blocking flusher
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -208,6 +214,7 @@ func Open(dir string) (*Store, error) {
 	}
 	sort.Slice(s.logs, func(i, j int) bool { return s.logs[i] < s.logs[j] })
 	s.n.batches.Store(int64(len(s.logs)))
+	//wf:owns s.quit Close closes quit; the flusher drains and exits
 	go s.flusher()
 	return s, nil
 }
@@ -219,6 +226,8 @@ func (s *Store) Dir() string { return s.dir }
 // CRC-sealed log file whose name is fsynced into the directory. Concurrent
 // Appends may be committed together in one file (group commit); each still
 // gets its own error. Records of one Append stay contiguous and in order.
+//
+//wf:blocking blocks until the group commit's fsync pair completes
 func (s *Store) Append(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -246,6 +255,8 @@ func (s *Store) Append(recs []Record) error {
 
 // flusher is the group-commit loop: take everything queued, seal it into
 // one log file, ack every contributor, repeat.
+//
+//wf:blocking the group-commit loop: waits on the request channel for work
 func (s *Store) flusher() {
 	defer close(s.flusherDone)
 	for {
@@ -281,6 +292,8 @@ func (s *Store) flusher() {
 }
 
 // commitGroup seals one group into the next log file and acks every req.
+//
+//wf:blocking serializes index updates under the store mutex around the fsync pair
 func (s *Store) commitGroup(group []appendReq) {
 	s.mu.Lock()
 	idx := s.nextIdx
@@ -327,7 +340,10 @@ func (s *Store) writeLogFile(idx uint64, recs []Record) error {
 	return s.writeOnce(fmt.Sprintf("log-%016d", idx), buf)
 }
 
-// writeOnce atomically publishes content under name.
+// writeOnce atomically publishes content under name: temp file, file
+// fsync, rename, directory fsync — the ordering fsyncorder verifies.
+//
+//wf:durable
 func (s *Store) writeOnce(name string, content []byte) error {
 	f, err := os.CreateTemp(s.dir, "tmp-*")
 	if err != nil {
@@ -361,6 +377,8 @@ func (s *Store) writeOnce(name string, content []byte) error {
 // optimization, not the record of truth. Replay uses this same validated
 // set for its covered-prefix skip, so a snapshot that fails its checksum
 // costs extra replay work, never data.
+//
+//wf:blocking reads snapshot files under the store mutex
 func (s *Store) Snapshots() (map[uint32]Snapshot, error) {
 	s.mu.Lock()
 	if s.validated != nil {
@@ -446,6 +464,8 @@ func (s *Store) readSnapshot(ref snapRef) (Snapshot, error) {
 
 // WriteSnapshot durably publishes snap. After it returns, Compact may
 // erase every log record of the shard with seq <= snap.Seq.
+//
+//wf:blocking fsyncs the snapshot file and updates the index under the store mutex
 func (s *Store) WriteSnapshot(snap Snapshot) error {
 	buf := snapMagic[:4:4]
 	buf = binary.BigEndian.AppendUint32(buf, snap.Shard)
@@ -495,6 +515,8 @@ func (s *Store) WriteSnapshot(snap Snapshot) error {
 // Safe to call more than once (it re-reads the directory state each time);
 // the records delivered are identical, so replay is idempotent as long as
 // fn applies them to a fresh state.
+//
+//wf:blocking reads and validates every live log file
 func (s *Store) Replay(fn func(Record) error) error {
 	// The covered prefix comes from the *validated* snapshot set (same as
 	// Snapshots), never from file names alone: skipping records behind a
@@ -584,6 +606,8 @@ func (s *Store) readLogFile(idx uint64) ([]Record, error) {
 // (written or replayed) are considered — an unknown file is left alone.
 // Returns the number of files erased. Safe to crash at any point: erasure
 // is idempotent and recovery never needs an erased file.
+//
+//wf:blocking erases files and fsyncs the directory under the store mutex
 func (s *Store) Compact() (int, error) {
 	valid, err := s.Snapshots()
 	if err != nil {
@@ -641,6 +665,8 @@ func (s *Store) Compact() (int, error) {
 }
 
 // Stats returns a point-in-time activity snapshot.
+//
+//wf:blocking takes the store mutex to read the live file count
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	live := int64(len(s.logs))
@@ -656,6 +682,8 @@ func (s *Store) Stats() Stats {
 
 // Close drains queued appends, stops the flusher and releases the
 // directory handle. Appends issued after Close return ErrClosed.
+//
+//wf:blocking waits for the flusher's graceful drain
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil

@@ -38,6 +38,8 @@ func Dial(addr string) (*Client, error) {
 }
 
 // Send queues one request without flushing and returns its id.
+//
+//wf:blocking a full bufio buffer spills to the socket mid-append
 func (cl *Client) Send(op seqspec.Op) (uint64, error) {
 	cl.nextID++
 	id := cl.nextID
@@ -50,6 +52,8 @@ func (cl *Client) Flush() error { return cl.bw.Flush() }
 
 // Recv reads the next response. A server-side refusal surfaces as a
 // *wire.RemoteError with the id of the refused request.
+//
+//wf:blocking waits for the server's response frame
 func (cl *Client) Recv() (uint64, int64, error) {
 	payload, err := wire.ReadFrame(cl.br, cl.rbuf)
 	if err != nil {
@@ -60,6 +64,8 @@ func (cl *Client) Recv() (uint64, int64, error) {
 }
 
 // Do sends one request and waits for its response.
+//
+//wf:blocking one full round trip on the socket
 func (cl *Client) Do(op seqspec.Op) (int64, error) {
 	id, err := cl.Send(op)
 	if err != nil {
@@ -79,21 +85,29 @@ func (cl *Client) Do(op seqspec.Op) (int64, error) {
 }
 
 // Put stores v under k.
+//
+//wf:blocking one round trip
 func (cl *Client) Put(k, v int64) (int64, error) {
 	return cl.Do(seqspec.Op{Kind: "put", Args: []int64{k, v}})
 }
 
 // Get reads k (seqspec.Empty when absent).
+//
+//wf:blocking one round trip
 func (cl *Client) Get(k int64) (int64, error) {
 	return cl.Do(seqspec.Op{Kind: "get", Args: []int64{k}})
 }
 
 // Del removes k.
+//
+//wf:blocking one round trip
 func (cl *Client) Del(k int64) (int64, error) {
 	return cl.Do(seqspec.Op{Kind: "del", Args: []int64{k}})
 }
 
 // Len reads the map size (a cross-shard sum; see the Sharded contract).
+//
+//wf:blocking one round trip
 func (cl *Client) Len() (int64, error) {
 	return cl.Do(seqspec.Op{Kind: "len"})
 }

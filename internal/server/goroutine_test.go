@@ -1,0 +1,108 @@
+package server
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// serverCycle runs one full server lifetime: start (with persistence, so
+// the appliers and stats loop spawn too), serve a few clients, close.
+func serverCycle(t *testing.T, dir string) {
+	t.Helper()
+	s, err := New(Config{Addr: "127.0.0.1:0", StatsAddr: "127.0.0.1:0", Shards: 4, Procs: 8, Dir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	for c := 0; c < 3; c++ {
+		cl, err := Dial(s.Addr().String())
+		if err != nil {
+			s.Close()
+			t.Fatalf("Dial: %v", err)
+		}
+		for k := int64(0); k < 8; k++ {
+			if _, err := cl.Put(k, k*10); err != nil {
+				cl.Close()
+				s.Close()
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if _, err := cl.Get(1); err != nil {
+			cl.Close()
+			s.Close()
+			t.Fatalf("Get: %v", err)
+		}
+		cl.Close()
+	}
+	s.Close()
+}
+
+// TestServerGoroutineHygiene pins the //wf:owns contract dynamically: after
+// a full start/serve/shutdown cycle every spawned goroutine — accept loop,
+// stats server, per-shard appliers, per-connection handlers — has reached
+// its declared shutdown mechanism and exited, returning the process to its
+// goroutine baseline.
+func TestServerGoroutineHygiene(t *testing.T) {
+	// A throwaway warm-up cycle absorbs goroutines the runtime and net/http
+	// start lazily and never retire (DNS resolver, http server bookkeeping).
+	serverCycle(t, t.TempDir())
+
+	// The warm-up's own goroutines may still be draining; settle first.
+	deadline := time.Now().Add(5 * time.Second)
+	baseline := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			baseline = n
+			break
+		}
+		baseline = n
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	serverCycle(t, t.TempDir())
+
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutines did not return to baseline: %d > %d\n%s", n, baseline, buf)
+}
+
+// TestServerGoroutineHygieneInMemory is the same pin for the no-persistence
+// configuration (no appliers, no store flusher).
+func TestServerGoroutineHygieneInMemory(t *testing.T) {
+	serverCycle(t, "")
+	deadline := time.Now().Add(5 * time.Second)
+	baseline := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			baseline = n
+			break
+		}
+		baseline = n
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	serverCycle(t, "")
+
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutines did not return to baseline: %d > %d\n%s", n, baseline, buf)
+}

@@ -21,7 +21,13 @@
 // replay reconstructs — durable linearizability. Reads never touch the
 // store; they go straight through the connection's leased pid.
 //
-//wf:blocking service tier at the syscall boundary: sockets, fsync and channels block by design; all wait-freedom claims live below, in the objects this package fronts
+// The package sits at the syscall boundary — sockets, fsync and channels
+// block by design, and every function that does carries its own
+// //wf:blocking directive — while all wait-freedom claims live below, in
+// the objects this package fronts. The persist-before-apply contract is
+// machine-checked: //wf:persist / //wf:ack marks pin the ordering for
+// wfvet's ackpersist analyzer, and every goroutine declares its shutdown
+// edge with //wf:owns for the goown analyzer.
 package server
 
 import (
@@ -108,6 +114,8 @@ type Server struct {
 // New builds the KV, replays the log store if a directory is configured,
 // and binds the listeners. The server does not accept connections until
 // Start.
+//
+//wf:blocking opens the store, replays the log and seeds the pid pool channel
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	reg := wfstats.NewRegistry()
@@ -177,6 +185,8 @@ func (s *Server) applierPid(sh int) int { return s.cfg.Procs + sh }
 // applier goroutine per shard. Replay order matches commit order: the
 // newest validated snapshot per shard first (its keys hash back to the
 // same shard by construction), then every durable log record above it.
+//
+//wf:blocking replays the store and launches the blocking appliers
 func (s *Server) startAppliers() error {
 	shadows := make([]map[int64]int64, s.cfg.Shards)
 	nextSeq := make([]uint64, s.cfg.Shards)
@@ -220,6 +230,7 @@ func (s *Server) startAppliers() error {
 		ch := make(chan applyReq, 256)
 		s.appliers[sh] = ch
 		s.loopWG.Add(1)
+		//wf:owns ch stopAppliers closes every applier channel; the range drains and exits
 		go s.runApplier(sh, ch, shadows[sh], nextSeq[sh], sinceSnap[sh])
 	}
 	return nil
@@ -238,7 +249,11 @@ func applyShadow(shadow map[int64]int64, op seqspec.Op) {
 // writes, persists them as one group (the store's flusher merges groups
 // from concurrent appliers into one fsync), then applies and acks each.
 // Applying strictly after Append returns is the durability contract —
-// no client can observe a write that a crash could lose.
+// no client can observe a write that a crash could lose; wfvet's
+// ackpersist analyzer checks that every marked ack below is dominated by
+// the marked group commit.
+//
+//wf:blocking waits on the applier channel and the store's group commit
 func (s *Server) runApplier(sh int, ch chan applyReq, shadow map[int64]int64, seq uint64, sinceSnap int) {
 	defer s.loopWG.Done()
 	pid := s.applierPid(sh)
@@ -262,9 +277,10 @@ func (s *Server) runApplier(sh int, ch chan applyReq, shadow map[int64]int64, se
 		for i := range batch {
 			recs = append(recs, logstore.Record{Shard: uint32(sh), Seq: seq + uint64(i), Op: batch[i].op})
 		}
+		//wf:persist the group commit: no ack below runs before Append returns
 		if err := s.store.Append(recs); err != nil {
 			for i := range batch {
-				batch[i].resp <- applyRes{err: err}
+				batch[i].resp <- applyRes{err: err} //wf:ack the failure is client-visible too
 			}
 			continue
 		}
@@ -273,7 +289,7 @@ func (s *Server) runApplier(sh int, ch chan applyReq, shadow map[int64]int64, se
 		for i := range batch {
 			v := s.kv.Invoke(pid, batch[i].op)
 			applyShadow(shadow, batch[i].op)
-			batch[i].resp <- applyRes{v: v}
+			batch[i].resp <- applyRes{v: v} //wf:ack durable before visible
 		}
 		sinceSnap += len(batch)
 		if sinceSnap >= s.cfg.SnapshotEvery {
@@ -302,8 +318,11 @@ func (s *Server) stopAppliers() {
 
 // Start begins accepting connections (and serving stats, if configured).
 // It returns immediately; use Close to stop.
+//
+//wf:blocking launches the blocking accept and stats loops
 func (s *Server) Start() {
 	s.loopWG.Add(1)
+	//wf:owns s.ln Close closes the listener; Accept fails and the loop returns
 	go s.acceptLoop()
 	if s.statsLn != nil {
 		mux := http.NewServeMux()
@@ -320,6 +339,7 @@ func (s *Server) Start() {
 		})
 		srv := &http.Server{Handler: mux}
 		s.loopWG.Add(1)
+		//wf:owns s.statsLn Close closes the stats listener; Serve returns
 		go func() {
 			defer s.loopWG.Done()
 			srv.Serve(s.statsLn)
@@ -344,6 +364,7 @@ func (s *Server) Metrics() *wfstats.Registry { return s.reg }
 // KV exposes the underlying sharded object for white-box tests.
 func (s *Server) KV() *shard.Sharded { return s.kv }
 
+//wf:blocking accepts until the listener closes
 func (s *Server) acceptLoop() {
 	defer s.loopWG.Done()
 	for {
@@ -352,6 +373,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.connWG.Add(1)
+		//wf:owns c closing the connection (client side or Close's listener teardown) ends ReadFrame
 		go s.serveConn(c)
 	}
 }
@@ -360,6 +382,7 @@ func (s *Server) acceptLoop() {
 // exhausted; the connection is then closed.
 const errNoFreePid = "no free pid: connection pool exhausted"
 
+//wf:blocking socket reads, pid-pool handoff and the applier round trip
 func (s *Server) serveConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer c.Close()
@@ -402,6 +425,7 @@ func (s *Server) serveConn(c net.Conn) {
 			bw.Flush()
 			return
 		}
+		//wf:persist a durable write group-commits inside applyDurable before its response is built; reads and refusals have nothing to persist
 		if reason := validateOp(op); reason != "" {
 			// A well-framed but unsupported op is the client's bug, not
 			// a protocol failure; refuse it and keep the connection.
@@ -409,23 +433,24 @@ func (s *Server) serveConn(c net.Conn) {
 			// not reach it.)
 			s.opsRefused.Inc()
 			wbuf = wire.AppendError(wbuf[:0], id, reason)
-		} else {
-			var v int64
-			if s.store != nil && (op.Kind == "put" || op.Kind == "del") {
-				res := s.applyDurable(op)
-				if res.err != nil {
-					wbuf = wire.AppendError(wbuf[:0], id, "persist: "+res.err.Error())
-					wire.WriteFrame(bw, wbuf)
-					bw.Flush()
-					return
-				}
-				v = res.v
-			} else {
-				v = s.kv.Invoke(pid, op)
+		} else if s.store != nil && (op.Kind == "put" || op.Kind == "del") {
+			res := s.applyDurable(op)
+			if res.err != nil {
+				// A write the store could not commit must not look
+				// applied; report and hang up (the in-memory KV was
+				// never touched).
+				wbuf = wire.AppendError(wbuf[:0], id, "persist: "+res.err.Error())
+				wire.WriteFrame(bw, wbuf)
+				bw.Flush()
+				return
 			}
 			s.opsServed.Inc()
-			wbuf = wire.AppendResponse(wbuf[:0], id, v)
+			wbuf = wire.AppendResponse(wbuf[:0], id, res.v)
+		} else {
+			s.opsServed.Inc()
+			wbuf = wire.AppendResponse(wbuf[:0], id, s.kv.Invoke(pid, op))
 		}
+		//wf:ack the response frame becomes client-visible here
 		if err := wire.WriteFrame(bw, wbuf); err != nil {
 			return
 		}
@@ -440,6 +465,8 @@ func (s *Server) serveConn(c net.Conn) {
 }
 
 // applyDurable routes one write through its shard's applier.
+//
+//wf:blocking blocks until the applier has persisted and applied the op
 func (s *Server) applyDurable(op seqspec.Op) applyRes {
 	sh := s.kv.ShardOf(op.Arg(0))
 	resp := make(chan applyRes, 1)
@@ -469,6 +496,8 @@ func validateOp(op seqspec.Op) string {
 
 // Close stops accepting, waits for in-flight connections, drains the
 // appliers (every acked write is already durable) and closes the store.
+//
+//wf:blocking waits for in-flight connections and loops to drain
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil

@@ -87,6 +87,18 @@ type Waiver struct {
 	used     bool
 }
 
+// LineMark is one line-scoped service-tier discipline mark:
+// //wf:ack (a client-visible acknowledgement), //wf:persist (a completed
+// durability call), or //wf:owns <mechanism> (the shutdown edge of a go
+// statement). Like waivers, a mark no analyzer consumes is an error.
+type LineMark struct {
+	Verb string // "ack", "persist" or "owns"
+	Mech string // owns only: the shutdown mechanism expression
+	Note string // optional free-text remainder
+	Pos  token.Pos
+	used bool
+}
+
 // Annotations holds every wf: directive parsed from a package's non-test
 // files, plus any malformed-annotation errors.
 type Annotations struct {
@@ -105,6 +117,10 @@ type Annotations struct {
 	// Fields maps annotated struct-field and const/var names to their
 	// register-discipline annotations.
 	Fields map[*ast.Ident]*FieldAnn
+	// Durable maps function declarations carrying //wf:durable — the
+	// fsyncorder analyzer audits their commit-rename protocol — to the
+	// directive's position.
+	Durable map[*ast.FuncDecl]token.Pos
 	// Errors reports conflicting, malformed or unknown directives.
 	Errors []Diagnostic
 
@@ -118,6 +134,10 @@ type Annotations struct {
 	// waivers records //wf:waiver comments by file and line; analyzers
 	// consume them through Waive, and UnusedWaivers reports the leftovers.
 	waivers map[string]map[int][]*Waiver
+	// marks records //wf:ack, //wf:persist and //wf:owns comments by file
+	// and line; analyzers consume them through ConsumeMark, and UnusedMarks
+	// reports the leftovers.
+	marks map[string]map[int][]*LineMark
 }
 
 // Effective resolves the directive governing fd: its own annotation if
@@ -196,9 +216,44 @@ func (a *Annotations) UnusedWaivers() []*Waiver {
 	return out
 }
 
+// ConsumeMark finds and consumes a line mark of the given verb covering pos
+// — trailing on the statement's own line or on the line directly above —
+// and returns it, or nil. Mirrors the attachment rule of Waive and of
+// loop-line directives.
+func (a *Annotations) ConsumeMark(pos token.Position, verb string) *LineMark {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, m := range a.marks[pos.Filename][line] {
+			if m.Verb == verb && !m.used {
+				m.used = true
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// UnusedMarks returns every line mark no analyzer consumed, in position
+// order. A floating mark is an error: an //wf:ack that attaches to nothing
+// would silently exempt the acknowledgement it meant to pin.
+func (a *Annotations) UnusedMarks() []*LineMark {
+	var out []*LineMark
+	for _, lines := range a.marks {
+		for _, ms := range lines {
+			for _, m := range ms {
+				if !m.used {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
 // extraDir is one parsed non-mode directive (wf:steps, wf:param, wf:len,
-// wf:singlewriter, wf:monotone, wf:abaguard, wf:waiver). Attachment rules
-// depend on the declaration kind and are enforced by the caller.
+// wf:singlewriter, wf:monotone, wf:abaguard, wf:waiver, wf:durable, wf:ack,
+// wf:persist, wf:owns). Attachment rules depend on the declaration kind and
+// are enforced by the caller.
 type extraDir struct {
 	verb string
 	arg  string
@@ -212,9 +267,11 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 		Methods:  make(map[*ast.Ident]*Directive),
 		Steps:    make(map[*ast.Ident]*StepsAnn),
 		Fields:   make(map[*ast.Ident]*FieldAnn),
+		Durable:  make(map[*ast.FuncDecl]token.Pos),
 		fset:     fset,
 		loopDirs: make(map[string]map[int]*Directive),
 		waivers:  make(map[string]map[int][]*Waiver),
+		marks:    make(map[string]map[int][]*LineMark),
 	}
 	for _, f := range files {
 		// Doc comment groups carry declaration-level directives; everything
@@ -278,11 +335,14 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				a.loopDirs[p.Filename][p.Line] = d
 			}
 			for _, x := range extras {
-				if x.verb == "waiver" {
+				switch x.verb {
+				case "waiver":
 					a.recordWaiver(x)
-					continue
+				case "ack", "persist", "owns":
+					a.recordMark(x)
+				default:
+					a.errorf(x.pos, "wf:%s must sit in a declaration's doc comment", x.verb)
 				}
-				a.errorf(x.pos, "wf:%s must sit in a declaration's doc comment", x.verb)
 			}
 		}
 		// Package-level directives sit on the package clause's doc comment.
@@ -314,8 +374,12 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				switch x.verb {
 				case "steps":
 					a.setSteps(fd.Name, x)
+				case "durable":
+					a.Durable[fd] = x.pos
 				case "waiver":
 					a.errorf(x.pos, "wf:waiver attaches to the waived statement line, not a declaration")
+				case "ack", "persist", "owns":
+					a.errorf(x.pos, "wf:%s attaches to the marked statement line, not a declaration", x.verb)
 				default:
 					a.errorf(x.pos, "wf:%s is not valid on a function declaration", x.verb)
 				}
@@ -383,6 +447,9 @@ func (a *Annotations) applyFieldExtra(names []*ast.Ident, x extraDir) {
 	case "waiver":
 		a.errorf(x.pos, "wf:waiver attaches to the waived statement line, not a declaration")
 		return
+	case "durable", "ack", "persist", "owns":
+		a.errorf(x.pos, "wf:%s is not valid on a struct field or const/var declaration", x.verb)
+		return
 	case "param", "len", "singlewriter":
 		if !token.IsIdentifier(x.arg) {
 			a.errorf(x.pos, "wf:%s argument must be a single identifier, got %q", x.verb, x.arg)
@@ -437,9 +504,9 @@ func (a *Annotations) recordWaiver(x extraDir) {
 	analyzer, reason, _ := strings.Cut(x.arg, " ")
 	reason = strings.TrimSpace(reason)
 	switch analyzer {
-	case "singlewriter", "monotone", "abasafe":
+	case "singlewriter", "monotone", "abasafe", "fsyncorder", "ackpersist", "goown":
 	default:
-		a.errorf(x.pos, "wf:waiver analyzer must be singlewriter, monotone or abasafe, got %q", analyzer)
+		a.errorf(x.pos, "wf:waiver analyzer must be singlewriter, monotone, abasafe, fsyncorder, ackpersist or goown, got %q", analyzer)
 		return
 	}
 	if reason == "" {
@@ -453,6 +520,23 @@ func (a *Annotations) recordWaiver(x extraDir) {
 	a.waivers[p.Filename][p.Line] = append(a.waivers[p.Filename][p.Line], &Waiver{Analyzer: analyzer, Reason: reason, Pos: x.pos})
 }
 
+// recordMark indexes one //wf:ack, //wf:persist or //wf:owns by file and
+// line. For owns the first argument field is the shutdown mechanism
+// expression; the remainder (and the whole argument for ack/persist) is a
+// free-text note.
+func (a *Annotations) recordMark(x extraDir) {
+	m := &LineMark{Verb: x.verb, Note: x.arg, Pos: x.pos}
+	if x.verb == "owns" {
+		mech, note, _ := strings.Cut(x.arg, " ")
+		m.Mech, m.Note = mech, strings.TrimSpace(note)
+	}
+	p := a.fset.Position(x.pos)
+	if a.marks[p.Filename] == nil {
+		a.marks[p.Filename] = make(map[int][]*LineMark)
+	}
+	a.marks[p.Filename][p.Line] = append(a.marks[p.Filename][p.Line], m)
+}
+
 // extraArgName names the required argument of each discipline verb, for
 // missing-argument errors.
 var extraArgName = map[string]string{
@@ -462,6 +546,7 @@ var extraArgName = map[string]string{
 	"singlewriter": "the owner index identifier",
 	"abaguard":     "a reason",
 	"waiver":       "an analyzer name and a reason",
+	"owns":         "the shutdown mechanism expression",
 }
 
 // parseGroup extracts the directives of one comment group, recording
@@ -503,15 +588,21 @@ func (a *Annotations) parseGroup(cg *ast.CommentGroup) ([]*Directive, []extraDir
 					a.errorf(c.Pos(), "wf:lockfree requires a reason")
 				}
 			}
-		case "steps", "param", "len", "singlewriter", "monotone", "abaguard", "waiver":
-			if arg == "" && verb != "monotone" {
-				a.errorf(c.Pos(), "wf:%s requires %s", verb, extraArgName[verb])
-				continue
+		case "steps", "param", "len", "singlewriter", "monotone", "abaguard", "waiver",
+			"durable", "ack", "persist", "owns":
+			switch verb {
+			case "monotone", "durable", "ack", "persist":
+				// argument optional (free-text note)
+			default:
+				if arg == "" {
+					a.errorf(c.Pos(), "wf:%s requires %s", verb, extraArgName[verb])
+					continue
+				}
 			}
 			extras = append(extras, extraDir{verb: verb, arg: arg, pos: c.Pos()})
 			continue
 		default:
-			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking, bounded, lockfree, steps, param, len, singlewriter, monotone, abaguard or waiver)", verb)
+			a.errorf(c.Pos(), "unknown directive wf:%s (want waitfree, blocking, bounded, lockfree, steps, param, len, singlewriter, monotone, abaguard, waiver, durable, ack, persist or owns)", verb)
 			continue
 		}
 		dirs = append(dirs, d)

@@ -1,0 +1,91 @@
+// Package ackpersist exercises the persist-before-acknowledge pass: every
+// //wf:ack (client-visible acknowledgement) must be dominated by a
+// completed //wf:persist statement. The fixture covers the accepted shapes
+// — batch persist before an ack loop, persist and ack as siblings in one
+// branch, persist in an if-init dominating the acks in its body — and the
+// rejected ones: ack before persist, ack with no persist at all, persist on
+// only one branch of a join, a persist nothing acknowledges, and a mark
+// attached to no statement.
+package ackpersist
+
+type res struct{ v int }
+
+type svc struct {
+	log []int
+}
+
+func (s *svc) persist(v int) error {
+	s.log = append(s.log, v)
+	return nil
+}
+
+// applyGood persists the whole batch, then acknowledges each entry.
+func (s *svc) applyGood(batch []int, resp chan<- res) {
+	//wf:persist group commit for the whole batch
+	err := s.persist(len(batch))
+	if err != nil {
+		return
+	}
+	for _, v := range batch {
+		resp <- res{v: v} //wf:ack
+	}
+}
+
+// replyGood persists and acknowledges as siblings on the durable branch;
+// the read path answers unmarked.
+func (s *svc) replyGood(kind string, v int, resp chan<- res) {
+	if kind == "put" {
+		//wf:persist
+		err := s.persist(v)
+		if err != nil {
+			return
+		}
+		resp <- res{v: v} //wf:ack durable path
+	} else {
+		resp <- res{v: v}
+	}
+}
+
+// initGood persists in the if-init; the init has completed before the ack
+// in the body runs.
+func (s *svc) initGood(v int, resp chan<- res) {
+	//wf:persist
+	if err := s.persist(v); err == nil {
+		resp <- res{v: v} //wf:ack
+	}
+}
+
+// ackFirst acknowledges before the persist completes.
+func (s *svc) ackFirst(v int, resp chan<- res) {
+	resp <- res{v: v} //wf:ack
+	//wf:persist too late
+	s.persist(v)
+}
+
+// ackNoPersist acknowledges with no durability anywhere in the function.
+func (s *svc) ackNoPersist(v int, resp chan<- res) {
+	resp <- res{v: v} //wf:ack
+}
+
+// ackBranchedPersist persists on one branch but acknowledges after the
+// join, so the other path acknowledges nothing durable.
+func (s *svc) ackBranchedPersist(kind string, v int, resp chan<- res) {
+	if kind == "put" {
+		//wf:persist only the put path persists
+		s.persist(v)
+	}
+	resp <- res{v: v} //wf:ack
+}
+
+// persistNoAck claims durability that no acknowledgement consumes.
+func (s *svc) persistNoAck(v int) {
+	//wf:persist
+	s.persist(v)
+}
+
+// floating carries a mark that attaches to no statement.
+func (s *svc) floating(v int) {
+	s.persist(v)
+}
+
+//wf:ack stranded between declarations

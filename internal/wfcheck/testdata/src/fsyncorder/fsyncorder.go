@@ -1,0 +1,125 @@
+// Package fsyncorder exercises the crash-durability commit pass: inside a
+// //wf:durable function every os.Rename must be preceded by a Sync on the
+// renamed file and followed by a directory fsync, a rename outside a
+// durable function is unaudited, a durable function with no rename is a
+// stale claim, and an untraceable rename source is its own (waivable)
+// finding.
+package fsyncorder
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type store struct {
+	dir  string
+	dirf *os.File
+}
+
+// commitGood is the full protocol: write temp, sync file, rename, sync dir.
+//
+//wf:durable
+func (s *store) commitGood(name string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	return s.dirf.Sync()
+}
+
+// commitNoFileSync renames a file that was never synced: a crash after the
+// rename can commit torn contents.
+//
+//wf:durable
+func (s *store) commitNoFileSync(name string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	return s.dirf.Sync()
+}
+
+// commitNoDirSync syncs the file but never the directory: a crash can lose
+// the rename itself.
+//
+//wf:durable
+func (s *store) commitNoDirSync(name string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// commitUnannotated commits with a rename but never claims //wf:durable, so
+// its ordering is outside the audit.
+func (s *store) commitUnannotated(tmp, name string) error {
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// commitUntraceable is durable but renames a source the analyzer cannot tie
+// to a file handle.
+//
+//wf:durable
+func (s *store) commitUntraceable(tmp, name string) error {
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	return s.dirf.Sync()
+}
+
+// commitWaived is the untraceable shape with the reason stated at the site.
+//
+//wf:durable
+func (s *store) commitWaived(tmp, name string) error {
+	//wf:waiver fsyncorder recovery renames a verified file the writer already synced
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	return s.dirf.Sync()
+}
+
+// staleDurable claims durability but commits nothing.
+//
+//wf:durable
+func (s *store) staleDurable() string {
+	return s.dir
+}

@@ -1,0 +1,68 @@
+// Package goown exercises the goroutine-ownership pass: every go statement
+// needs an //wf:owns <mechanism> shutdown edge, and the declared mechanism
+// must be reachable from the goroutine — in the call's arguments or
+// literal, or in the body of the spawned in-package function. The fixture
+// covers the accepted shapes (mechanism in the literal, in the callee's
+// body, handed as an argument), an unowned goroutine, a declared mechanism
+// the goroutine never reaches, a floating owns mark, and a waived spawn.
+package goown
+
+type worker struct {
+	quit chan struct{}
+	jobs chan int
+}
+
+// drain runs until the jobs channel is closed.
+func (w *worker) drain() {
+	for range w.jobs {
+	}
+}
+
+// process runs until its channel argument is closed.
+func process(ch chan int) {
+	for range ch {
+	}
+}
+
+// ownedLiteral declares the quit channel the literal blocks on.
+func (w *worker) ownedLiteral() {
+	//wf:owns w.quit
+	go func() {
+		<-w.quit
+	}()
+}
+
+// ownedCallee declares the channel the spawned method's body drains.
+func (w *worker) ownedCallee() {
+	//wf:owns w.jobs closing jobs stops the drain
+	go w.drain()
+}
+
+// ownedArg hands the mechanism to the goroutine as an argument.
+func (w *worker) ownedArg() {
+	//wf:owns w.jobs
+	go process(w.jobs)
+}
+
+// unowned spawns with no declared shutdown edge.
+func (w *worker) unowned() {
+	go w.drain()
+}
+
+// dangling declares a mechanism the goroutine never reaches.
+func (w *worker) dangling() {
+	//wf:owns w.quit
+	go w.drain()
+}
+
+// floating carries an owns mark that attaches to no go statement.
+func (w *worker) floating() {
+	//wf:owns w.quit
+	close(w.quit)
+}
+
+// waived states the reason a process-lifetime goroutine has no edge.
+func (w *worker) waived() {
+	//wf:waiver goown process-lifetime pump, dies with the process
+	go w.drain()
+}

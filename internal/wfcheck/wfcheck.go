@@ -67,8 +67,27 @@
 //	    is a protocol argument the analyzer cannot see.
 //	//wf:waiver <analyzer> <reason>
 //	    On (or directly above) a finding's line: a reasoned exemption from
-//	    singlewriter, monotone or abasafe. A waiver nothing consumes is
-//	    itself an error — it cannot outlive the finding it excused.
+//	    singlewriter, monotone, abasafe, fsyncorder, ackpersist or goown. A
+//	    waiver nothing consumes is itself an error — it cannot outlive the
+//	    finding it excused.
+//
+// The v4 service-tier discipline directives:
+//
+//	//wf:durable [note]
+//	    On a function: its os.Rename calls commit data files, and fsyncorder
+//	    audits the fsync ordering around each one. A durable function with
+//	    no rename is a stale claim; a rename outside a durable function is a
+//	    finding.
+//	//wf:persist [note]
+//	    On (or directly above) a statement line: completing this statement
+//	    makes the operation durable. //wf:ack [note] marks the statement
+//	    that makes the result client-visible; ackpersist requires every ack
+//	    to be dominated by a persist.
+//	//wf:owns <mechanism> [note]
+//	    On (or directly above) a go statement: names the shutdown edge — the
+//	    channel, listener, connection or context whose close/cancel stops
+//	    the goroutine. goown requires one on every go statement in audited
+//	    packages and verifies the mechanism is reachable from the goroutine.
 //
 // A declaration carrying conflicting directives is an error. Directives in
 // _test.go files are ignored: test harnesses may block freely.
@@ -132,6 +151,18 @@
 // abasafe: audits pointer CompareAndSwap for ABA protection — install-once
 // nil, held-pointer Load, value-derived RMW, or a declared field guard.
 //
+// fsyncorder: audits the commit protocol of //wf:durable functions — every
+// os.Rename preceded by a Sync on the renamed file and followed by a
+// directory fsync — and flags commit renames outside durable functions.
+//
+// ackpersist: requires every //wf:ack (client-visible acknowledgement) to
+// be dominated by a completed //wf:persist statement on every path — the
+// static form of the service tier's persist-before-apply contract.
+//
+// goown: requires every go statement in audited (non-wf:blocking) packages
+// to declare its shutdown edge with //wf:owns <mechanism>, and verifies the
+// mechanism is reachable from the spawned goroutine.
+//
 // stale: flags directives the analyzers no longer need — a wf:blocking
 // function with nothing blocking in it, a loop-line bound on a loop whose
 // own condition already satisfies every check. Advisory by default;
@@ -147,7 +178,7 @@ import (
 // Diagnostic is one finding, positioned for file:line:col reporting.
 type Diagnostic struct {
 	Pos      token.Position
-	Analyzer string // "annot", "blocking", "boundcert", "progress", "pubsafety", "atomicmix", "specpure", "symbound", "singlewriter", "monotone", "abasafe" or "stale"
+	Analyzer string // "annot", "blocking", "boundcert", "progress", "pubsafety", "atomicmix", "specpure", "symbound", "singlewriter", "monotone", "abasafe", "fsyncorder", "ackpersist", "goown" or "stale"
 	Message  string
 	// Warn marks advisory findings (stale directives) that are reported but
 	// do not fail the run.
@@ -266,7 +297,11 @@ func (c Config) RunProgram(prog *Program, targets []*Package) *Result {
 		res.Diags = append(res.Diags, analyzeSingleWriter(prog, p)...)
 		res.Diags = append(res.Diags, analyzeMonotone(prog, p)...)
 		res.Diags = append(res.Diags, analyzeABA(prog, p)...)
+		analyzeFsyncOrder(p, &res.Diags)
+		analyzeAckPersist(p, &res.Diags)
+		analyzeGoOwn(prog, p, &res.Diags)
 		res.Diags = append(res.Diags, unusedWaiverDiags(p)...)
+		res.Diags = append(res.Diags, unusedMarkDiags(p)...)
 	}
 	if root := moduleRoot(prog, targets); root != nil {
 		ops, diags := analyzeSymbolic(prog, root)
@@ -309,6 +344,20 @@ func unusedWaiverDiags(p *Package) []Diagnostic {
 	return diags
 }
 
+// unusedMarkDiags errors every //wf:ack, //wf:persist or //wf:owns mark no
+// analyzer attached to a statement: a floating mark would silently exempt
+// the statement it meant to pin. Must run after ackpersist and goown.
+func unusedMarkDiags(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, m := range p.Annots.UnusedMarks() {
+		diags = append(diags, Diagnostic{
+			Pos: p.Fset.Position(m.Pos), Analyzer: "annot",
+			Message: fmt.Sprintf("wf:%s attaches to no audited statement — remove it or move it onto the marked line", m.Verb),
+		})
+	}
+	return diags
+}
+
 // staleDiags runs the stale analyzer, applying the strict-mode promotion
 // and allowlist.
 func (c Config) staleDiags(prog *Program, targets []*Package) []Diagnostic {
@@ -339,7 +388,11 @@ func (c Config) runOne(prog *Program, p *Package) *Result {
 	res.Diags = append(res.Diags, analyzeSingleWriter(prog, p)...)
 	res.Diags = append(res.Diags, analyzeMonotone(prog, p)...)
 	res.Diags = append(res.Diags, analyzeABA(prog, p)...)
+	analyzeFsyncOrder(p, &res.Diags)
+	analyzeAckPersist(p, &res.Diags)
+	analyzeGoOwn(prog, p, &res.Diags)
 	res.Diags = append(res.Diags, unusedWaiverDiags(p)...)
+	res.Diags = append(res.Diags, unusedMarkDiags(p)...)
 	if c.All {
 		res.Diags = append(res.Diags, c.staleDiags(prog, []*Package{p})...)
 	}

@@ -1,0 +1,90 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"waitfree/internal/seqspec"
+	"waitfree/internal/wire"
+)
+
+// frame wraps a payload in the 4-byte big-endian length prefix ReadFrame
+// expects, without going through WriteFrame (so the fuzzer can also feed
+// prefixes WriteFrame would refuse).
+func frame(payload []byte) []byte {
+	b := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(len(payload)))
+	copy(b[4:], payload)
+	return b
+}
+
+// FuzzDecodeFrame drives the full receive path a hostile or corrupted peer
+// exercises: ReadFrame over raw bytes, then every payload decoder. The
+// invariants are the codec's contract, not any particular message: no
+// decoder may panic or over-read, and a payload that decodes cleanly must
+// survive a re-encode/re-decode round trip bit-for-bit.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with the shapes the unit tests pin: well-formed frames of each
+	// message type, the refusal boundaries, and truncations.
+	f.Add(frame(wire.AppendRequest(nil, 1, seqspec.Op{Kind: "put", Args: []int64{7, -3}})))
+	f.Add(frame(wire.AppendRequest(nil, 2, seqspec.Op{Kind: "len"})))
+	f.Add(frame(wire.AppendResponse(nil, 3, -1)))
+	f.Add(frame(wire.AppendError(nil, 4, "no free pid")))
+	f.Add(frame(nil))                           // empty payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})       // prefix above MaxFrame
+	f.Add([]byte{0, 0, 0, 9, wire.MsgOp, 0, 0}) // cut mid-frame
+	f.Add(frame([]byte{wire.MsgErr, 0, 0, 0, 0, 0, 0, 0, 5, 0, 200})) // reason longer than payload
+	f.Add(frame([]byte{wire.MsgOp, 0, 0, 0, 0, 0, 0, 0, 6, 3, 'p', 'u', 't', 1, 0x80})) // truncated varint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := wire.ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			// Any error is fine; the framing just must refuse over-long
+			// prefixes before allocating and report clean vs dirty EOF.
+			if err == io.EOF && len(data) != 0 && len(data) < 4 {
+				t.Fatalf("ReadFrame(%x) = io.EOF on a partial length prefix", data)
+			}
+			return
+		}
+		if len(payload) > wire.MaxFrame {
+			t.Fatalf("ReadFrame returned %d bytes, above MaxFrame", len(payload))
+		}
+
+		// Decoders must tolerate the payload regardless of its type byte.
+		if id, op, err := wire.DecodeRequest(payload); err == nil {
+			re := wire.AppendRequest(nil, id, op)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("request round trip: %x -> (%d, %+v) -> %x", payload, id, op, re)
+			}
+			id2, op2, err2 := wire.DecodeRequest(re)
+			if err2 != nil || id2 != id || !opEqual(op, op2) {
+				t.Fatalf("re-decode of %x: (%d, %+v, %v)", re, id2, op2, err2)
+			}
+		}
+		if id, v, err := wire.DecodeReply(payload); err == nil && payload[0] == wire.MsgResp {
+			re := wire.AppendResponse(nil, id, v)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("response round trip: %x -> (%d, %d) -> %x", payload, id, v, re)
+			}
+		}
+		if op, rest, err := wire.DecodeOp(payload); err == nil && len(rest) == 0 {
+			if re := wire.AppendOp(nil, op); !bytes.Equal(re, payload) {
+				t.Fatalf("op round trip: %x -> %+v -> %x", payload, op, re)
+			}
+		}
+	})
+}
+
+func opEqual(a, b seqspec.Op) bool {
+	if a.Kind != b.Kind || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -21,7 +21,9 @@
 // args...]; varints are the signed zig-zag form (encoding/binary's
 // AppendVarint) since KV values are arbitrary int64s.
 //
-//wf:blocking encoding helpers for the blocking service tier: everything here is straight-line code over byte slices, but the package serves the syscall boundary and makes no wait-freedom claims
+// The codec functions are straight-line code over byte slices and claim
+// //wf:waitfree individually; only the two frame I/O functions touch the
+// syscall boundary and carry //wf:blocking.
 package wire
 
 import (
@@ -51,8 +53,15 @@ var ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
 // ErrTruncated is returned when a payload ends before its declared content.
 var ErrTruncated = errors.New("wire: truncated payload")
 
+// ErrNonCanonical is returned for an overlong varint encoding. Every
+// encoder in this package emits the shortest form, so accepting padded
+// forms would only let distinct byte strings alias the same operation.
+var ErrNonCanonical = errors.New("wire: non-canonical varint")
+
 // WriteFrame writes one length-prefixed frame. Callers batch small frames
 // through a bufio.Writer; WriteFrame itself issues two writes.
+//
+//wf:blocking socket write: the kernel can stall on a slow peer's window
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooBig
@@ -69,6 +78,8 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // ReadFrame reads one frame, reusing buf when it is large enough. Returns
 // io.EOF only for a clean EOF on the length prefix; a connection cut mid-
 // frame surfaces as io.ErrUnexpectedEOF.
+//
+//wf:blocking socket read: blocks until the peer sends a full frame
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -92,6 +103,8 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 }
 
 // AppendOp appends op's encoding to b.
+//
+//wf:waitfree
 func AppendOp(b []byte, op seqspec.Op) []byte {
 	if len(op.Kind) > 255 || len(op.Args) > 255 {
 		panic("wire: op kind or argument count out of range")
@@ -105,7 +118,11 @@ func AppendOp(b []byte, op seqspec.Op) []byte {
 	return b
 }
 
-// DecodeOp decodes one op from b and returns the remaining bytes.
+// DecodeOp decodes one op from b and returns the remaining bytes. Varint
+// arguments must be in canonical (shortest) form; overlong encodings are
+// refused with ErrNonCanonical.
+//
+//wf:waitfree
 func DecodeOp(b []byte) (seqspec.Op, []byte, error) {
 	if len(b) < 1 {
 		return seqspec.Op{}, nil, ErrTruncated
@@ -125,6 +142,10 @@ func DecodeOp(b []byte) (seqspec.Op, []byte, error) {
 			if n <= 0 {
 				return seqspec.Op{}, nil, ErrTruncated
 			}
+			var canon [binary.MaxVarintLen64]byte
+			if binary.PutVarint(canon[:], v) != n {
+				return seqspec.Op{}, nil, ErrNonCanonical
+			}
 			op.Args[i] = v
 			b = b[n:]
 		}
@@ -133,6 +154,8 @@ func DecodeOp(b []byte) (seqspec.Op, []byte, error) {
 }
 
 // AppendRequest appends a MsgOp request payload to b.
+//
+//wf:waitfree
 func AppendRequest(b []byte, id uint64, op seqspec.Op) []byte {
 	b = append(b, MsgOp)
 	b = binary.BigEndian.AppendUint64(b, id)
@@ -140,6 +163,8 @@ func AppendRequest(b []byte, id uint64, op seqspec.Op) []byte {
 }
 
 // DecodeRequest decodes a MsgOp payload (including its type byte).
+//
+//wf:waitfree
 func DecodeRequest(b []byte) (id uint64, op seqspec.Op, err error) {
 	if len(b) < 9 || b[0] != MsgOp {
 		return 0, seqspec.Op{}, fmt.Errorf("wire: not a request payload (%w)", ErrTruncated)
@@ -156,6 +181,8 @@ func DecodeRequest(b []byte) (id uint64, op seqspec.Op, err error) {
 }
 
 // AppendResponse appends a MsgResp payload to b.
+//
+//wf:waitfree
 func AppendResponse(b []byte, id uint64, value int64) []byte {
 	b = append(b, MsgResp)
 	b = binary.BigEndian.AppendUint64(b, id)
@@ -163,6 +190,8 @@ func AppendResponse(b []byte, id uint64, value int64) []byte {
 }
 
 // AppendError appends a MsgErr payload to b; long reasons are truncated.
+//
+//wf:waitfree
 func AppendError(b []byte, id uint64, reason string) []byte {
 	if len(reason) > 1<<10 {
 		reason = reason[:1<<10]
@@ -175,6 +204,8 @@ func AppendError(b []byte, id uint64, reason string) []byte {
 
 // DecodeReply decodes a server reply payload: a MsgResp value or a MsgErr
 // reason (returned as a non-nil error wrapping the reason text).
+//
+//wf:waitfree
 func DecodeReply(b []byte) (id uint64, value int64, err error) {
 	if len(b) < 9 {
 		return 0, 0, ErrTruncated

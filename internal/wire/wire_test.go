@@ -112,3 +112,18 @@ func TestDecodeTruncated(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeNonCanonical: an overlong varint encoding of an argument is
+// refused, so every operation has exactly one byte representation.
+func TestDecodeNonCanonical(t *testing.T) {
+	// -60 zig-zags to 0x77; pad it to the two-byte form 0xf7 0x00.
+	enc := []byte{3, 'p', 'u', 't', 1, 0xf7, 0x00}
+	if _, _, err := DecodeOp(enc); !errors.Is(err, ErrNonCanonical) {
+		t.Fatalf("DecodeOp(overlong varint) = %v, want ErrNonCanonical", err)
+	}
+	canon := []byte{3, 'p', 'u', 't', 1, 0x77}
+	op, rest, err := DecodeOp(canon)
+	if err != nil || len(rest) != 0 || op.Args[0] != -60 {
+		t.Fatalf("DecodeOp(canonical) = (%+v, %x, %v)", op, rest, err)
+	}
+}
