@@ -7,12 +7,18 @@
 //	             verification half of a kill -9 / restart drill
 //	-mode bench  open-loop load: -conns connections, each paced so the
 //	             fleet offers -rate ops/s in aggregate (0 = closed loop),
-//	             for -duration; reports ops/s and latency percentiles
+//	             for -duration; reports ops/s and latency percentiles.
+//	             -pipeline <depth> keeps up to depth requests in flight
+//	             per connection (sender and receiver goroutines sharing
+//	             one socket), reassembling completions by request id
 //
-// The bench mode measures latency from each operation's *scheduled* send
-// time, not the actual send time, so a stalled server inflates the
-// percentiles instead of silently thinning the load (the coordinated-
-// omission correction).
+// The bench mode measures latency from each operation's *enqueue* time —
+// the scheduled instant under -rate pacing, the moment the operation was
+// generated in closed loop — never from the actual socket send. A stalled
+// server (or a full pipeline window) therefore inflates the percentiles
+// instead of silently thinning the load (the coordinated-omission
+// correction); latencies land in a wfstats.Histogram and the reported
+// p50/p95/p99/p999 come from its Quantile estimator.
 //
 //wf:blocking load generator: sockets and timers; makes no wait-freedom claims
 package main
@@ -22,12 +28,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"waitfree/internal/seqspec"
 	"waitfree/internal/server"
+	"waitfree/internal/wfstats"
+	"waitfree/internal/wire"
 )
 
 func main() {
@@ -37,6 +45,7 @@ func main() {
 	keys := flag.Int64("keys", 4096, "key-space size")
 	readFrac := flag.Float64("read-frac", 0.9, "fraction of reads in bench mode")
 	rate := flag.Float64("rate", 0, "aggregate target ops/s (0 = closed loop)")
+	pipeline := flag.Int("pipeline", 1, "requests in flight per connection (1 = sequential)")
 	dur := flag.Duration("duration", 5*time.Second, "bench duration")
 	jsonOut := flag.Bool("json", false, "emit one JSON result line")
 	flag.Parse()
@@ -48,7 +57,7 @@ func main() {
 	case "check":
 		err = check(*addr, *conns, *keys)
 	case "bench":
-		err = bench(*addr, *conns, *keys, *readFrac, *rate, *dur, *jsonOut)
+		err = bench(*addr, *conns, *keys, *readFrac, *rate, *pipeline, *dur, *jsonOut)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -120,17 +129,19 @@ func check(addr string, conns int, keys int64) error {
 	return nil
 }
 
-func bench(addr string, conns int, keys int64, readFrac, rate float64, dur time.Duration, jsonOut bool) error {
+func bench(addr string, conns int, keys int64, readFrac, rate float64, pipeline int, dur time.Duration, jsonOut bool) error {
+	if pipeline < 1 {
+		pipeline = 1
+	}
 	var interval time.Duration
 	if rate > 0 {
 		interval = time.Duration(float64(conns) / rate * float64(time.Second))
 	}
-	type result struct {
-		lats []time.Duration
-		ops  int64
-		errs int64
-	}
-	results := make([]result, conns)
+	var (
+		hist     wfstats.Histogram // latency in µs, all workers
+		ops      atomic.Int64
+		errCount atomic.Int64
+	)
 	var wg sync.WaitGroup
 	stop := time.Now().Add(dur)
 	for w := 0; w < conns; w++ {
@@ -139,68 +150,175 @@ func bench(addr string, conns int, keys int64, readFrac, rate float64, dur time.
 			defer wg.Done()
 			cl, err := server.Dial(addr)
 			if err != nil {
-				results[w].errs++
+				errCount.Add(1)
 				return
 			}
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
-			res := &results[w]
-			res.lats = make([]time.Duration, 0, 1<<14)
-			next := time.Now()
-			for time.Now().Before(stop) {
-				if interval > 0 {
-					if d := time.Until(next); d > 0 {
-						time.Sleep(d)
-					}
-				} else {
-					next = time.Now()
-				}
-				var op seqspec.Op
+			nextOp := func() seqspec.Op {
 				k := rng.Int63n(keys)
 				if rng.Float64() < readFrac {
-					op = seqspec.Op{Kind: "get", Args: []int64{k}}
-				} else {
-					op = seqspec.Op{Kind: "put", Args: []int64{k, rng.Int63()}}
+					return seqspec.Op{Kind: "get", Args: []int64{k}}
 				}
-				_, err := cl.Do(op)
-				if err != nil {
-					res.errs++
-					return
-				}
-				// Latency from the scheduled instant, not the send.
-				res.lats = append(res.lats, time.Since(next))
-				res.ops++
-				next = next.Add(interval)
+				return seqspec.Op{Kind: "put", Args: []int64{k, rng.Int63()}}
 			}
+			if pipeline == 1 {
+				next := time.Now()
+				for time.Now().Before(stop) {
+					if interval > 0 {
+						if d := time.Until(next); d > 0 {
+							time.Sleep(d)
+						}
+					} else {
+						next = time.Now()
+					}
+					if _, err := cl.Do(nextOp()); err != nil {
+						errCount.Add(1)
+						return
+					}
+					// Latency from the enqueue instant, not the send.
+					hist.Observe(time.Since(next).Microseconds())
+					ops.Add(1)
+					next = next.Add(interval)
+				}
+				return
+			}
+			runPipelined(cl, nextOp, stop, interval, pipeline, &hist, &ops, &errCount)
 		}(w)
 	}
 	started := time.Now()
 	wg.Wait()
 	elapsed := time.Since(started)
 
-	var all []time.Duration
-	var ops, errCount int64
-	for i := range results {
-		all = append(all, results[i].lats...)
-		ops += results[i].ops
-		errCount += results[i].errs
+	n, errs := ops.Load(), errCount.Load()
+	if n == 0 {
+		return fmt.Errorf("no operations completed (%d errors)", errs)
 	}
-	if len(all) == 0 {
-		return fmt.Errorf("no operations completed (%d errors)", errCount)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration { return all[int(float64(len(all)-1)*p)] }
-	opsPerSec := float64(ops) / elapsed.Seconds()
+	opsPerSec := float64(n) / elapsed.Seconds()
+	p50, p95, p99, p999 := hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99), hist.Quantile(0.999)
 	if jsonOut {
-		fmt.Printf(`{"conns":%d,"ops":%d,"errors":%d,"ops_per_sec":%.0f,"p50_us":%.1f,"p99_us":%.1f,"p999_us":%.1f}`+"\n",
-			conns, ops, errCount, opsPerSec,
-			float64(pct(0.50).Microseconds()), float64(pct(0.99).Microseconds()), float64(pct(0.999).Microseconds()))
+		fmt.Printf(`{"conns":%d,"pipeline":%d,"ops":%d,"errors":%d,"ops_per_sec":%.0f,"p50_us":%d,"p95_us":%d,"p99_us":%d,"p999_us":%d}`+"\n",
+			conns, pipeline, n, errs, opsPerSec, p50, p95, p99, p999)
 	} else {
-		fmt.Printf("conns=%d ops=%d errors=%d ops/s=%.0f p50=%v p99=%v p999=%v\n",
-			conns, ops, errCount, opsPerSec, pct(0.50), pct(0.99), pct(0.999))
+		fmt.Printf("conns=%d pipeline=%d ops=%d errors=%d ops/s=%.0f p50=%dµs p95=%dµs p99=%dµs p999=%dµs\n",
+			conns, pipeline, n, errs, opsPerSec, p50, p95, p99, p999)
 	}
-	if errCount > 0 {
-		return fmt.Errorf("%d operations failed", errCount)
+	if errs > 0 {
+		return fmt.Errorf("%d operations failed", errs)
 	}
 	return nil
+}
+
+// runPipelined drives one connection with up to depth requests in flight:
+// the calling goroutine is the sender, a spawned goroutine receives. The
+// two share the Client along its documented one-sender/one-receiver seam
+// and a mutex-guarded id→enqueue-time map — a request is entered into the
+// map under the same critical section as its Send, so the receiver's
+// lookup after a response always finds it. Latency runs from the enqueue
+// instant (scheduled arrival under pacing), so time spent waiting for a
+// free window slot is charged to the operation.
+func runPipelined(cl *server.Client, nextOp func() seqspec.Op, stop time.Time,
+	interval time.Duration, depth int, hist *wfstats.Histogram, ops, errCount *atomic.Int64) {
+	var (
+		mu   sync.Mutex
+		enqs = make(map[uint64]time.Time, depth)
+		done atomic.Bool
+	)
+	tokens := make(chan struct{}, depth)
+	for i := 0; i < depth; i++ {
+		tokens <- struct{}{}
+	}
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			id, _, err := cl.Recv()
+			if err != nil {
+				if _, ok := err.(*wire.RemoteError); ok {
+					// A refused op still completes its window slot.
+					errCount.Add(1)
+					mu.Lock()
+					delete(enqs, id)
+					mu.Unlock()
+					tokens <- struct{}{}
+					continue
+				}
+				if !done.Load() {
+					errCount.Add(1)
+				}
+				return
+			}
+			mu.Lock()
+			enq := enqs[id]
+			delete(enqs, id)
+			mu.Unlock()
+			hist.Observe(time.Since(enq).Microseconds())
+			ops.Add(1)
+			tokens <- struct{}{}
+		}
+	}()
+
+	next := time.Now()
+loop:
+	for time.Now().Before(stop) {
+		var enq time.Time
+		if interval > 0 {
+			// Flush queued requests before sleeping on the arrival clock.
+			if cl.Flush() != nil {
+				break
+			}
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			enq = next
+			next = next.Add(interval)
+		} else {
+			enq = time.Now()
+		}
+		select {
+		case <-tokens:
+		default:
+			// Window full: everything queued must hit the wire before a
+			// slot can come back.
+			if cl.Flush() != nil {
+				break loop
+			}
+			select {
+			case <-tokens:
+			case <-recvDone:
+				// Receiver gone (server died): in-flight slots will
+				// never return, so waiting on one would hang forever.
+				break loop
+			}
+		}
+		mu.Lock()
+		id, err := cl.Send(nextOp())
+		if err == nil {
+			enqs[id] = enq
+		}
+		mu.Unlock()
+		if err != nil {
+			errCount.Add(1)
+			break
+		}
+	}
+	cl.Flush()
+	// Drain: every slot back means every response is in; then the close
+	// below unblocks the receiver's Recv with a clean error. If the
+	// receiver already exited on a transport error, outstanding slots
+	// are lost — count them as failed ops instead of deadlocking.
+drain:
+	for i := 0; i < depth; i++ {
+		select {
+		case <-tokens:
+		case <-recvDone:
+			mu.Lock()
+			errCount.Add(int64(len(enqs)))
+			mu.Unlock()
+			break drain
+		}
+	}
+	done.Store(true)
+	cl.Close()
+	<-recvDone
 }

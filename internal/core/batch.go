@@ -1,0 +1,79 @@
+package core
+
+import "waitfree/internal/seqspec"
+
+// InvokeBatch executes ops on behalf of pid as one announced wave: every
+// operation is consed individually (each gets its own linearization point,
+// in program order), then a single replay pass settles the whole wave —
+// one traversal publishes each earlier entry's response on its way down
+// (the helping write of replayPublish), one snapshot at the newest entry
+// covers all of them, and one GC mark advance amortizes the min-scan over
+// the batch. Responses land in out[i] (which must have room for len(ops)).
+//
+// This is the PR-5 helping batcher driven from one thread of control
+// instead of from concurrent writers: the server's shard applier drains N
+// decided-and-persisted operations from its queue and retires them in one
+// pass, paying the replay/clone/mark costs once instead of N times —
+// exactly the amortization the batched write path buys contended writers,
+// now available to a single front end with a backlog.
+//
+// The per-pid sequential contract of Invoke applies: one InvokeBatch is
+// one sequence of invocations by pid. Entries of concurrent pids may
+// interleave between the batch's entries in the decided order; responses
+// are computed against that decided order, so linearizability is inherited
+// unchanged. If a concurrent executor's snapshot lands above one of the
+// batch's entries (stopping the settling replay early), the straggler is
+// re-resolved from its own cons result — the bound stays one bounded
+// replay per unresolved entry, same as the unbatched path.
+func (u *Universal) InvokeBatch(pid int, ops []seqspec.Op, out []int64) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(out) < len(ops) {
+		panic("core: InvokeBatch out buffer shorter than ops")
+	}
+	if len(ops) == 1 {
+		out[0] = u.Invoke(pid, ops[0])
+		return
+	}
+	u.gcAttach(pid)
+	entries := make([]*Entry, len(ops))
+	priors := make([]*Node, len(ops))
+	//wf:bounded [B] one cons per batch entry: B is the caller's batch length
+	for i := range ops {
+		e := &Entry{Pid: pid, Seq: u.seqs[pid].Add(1), Op: ops[i]}
+		u.stats.consOps.Inc()
+		priors[i] = u.fac.FetchAndCons(pid, e)
+		entries[i] = e
+	}
+	last := entries[len(entries)-1]
+	// One pass for the wave: the walk down from the last entry's prior
+	// traverses every earlier batch entry (they are below it and carry no
+	// snapshot yet) and publishes its response.
+	pre, published := u.replayPublish(pid, priors[len(priors)-1], true)
+	if u.truncate {
+		u.stats.snapStores.Inc()
+		last.snapshot.Store(&snapBox{state: pre.Clone()})
+		u.sampleLiveRegion(last.Seq)
+	}
+	resp := pre.Apply(last.Op)
+	last.Publish(resp)
+	u.stats.batchLen.Observe(int64(published) + 1)
+	if u.gcEvery > 0 && (published > 0 || last.Seq%u.gcEvery == 0) {
+		u.gcAdvance()
+	}
+	//wf:bounded [B] one result collection (and at most one straggler replay) per batch entry
+	for i, e := range entries[:len(entries)-1] {
+		if v, ok := e.Result(); ok {
+			out[i] = v
+			continue
+		}
+		// Straggler: a concurrent pid's snapshot stopped the settling pass
+		// above this entry. Resolve it from its own decided prior, exactly
+		// as the unbatched path would have.
+		st := u.replay(pid, priors[i])
+		out[i] = st.Apply(e.Op)
+		e.Publish(out[i])
+	}
+	out[len(ops)-1] = resp
+}

@@ -8,6 +8,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"waitfree/internal/seqspec"
+	"waitfree/internal/wfstats"
 )
 
 // benchConns runs a read-heavy closed-loop workload over `conns` real TCP
@@ -113,4 +116,155 @@ func BenchmarkServer(b *testing.B) {
 	b.Run("conns=1024/persist", func(b *testing.B) {
 		benchConns(b, 1024, true)
 	})
+}
+
+// benchPipelined is benchConns with a deep per-connection window: each
+// connection runs a sender and a receiver goroutine keeping up to depth
+// requests in flight, reassembled by id. Alongside ops/s and latency
+// percentiles (from a wfstats histogram, latency measured from each op's
+// enqueue instant) it reports the two batching ratios the pipelined hot
+// path exists to shrink: write syscalls per op (the writer's coalesced
+// flushes) and fsyncs per op (the appliers' group commits).
+func benchPipelined(b *testing.B, conns, depth int, persist bool) {
+	cfg := Config{Addr: "127.0.0.1:0", Shards: 16, Procs: conns + 8, Window: depth}
+	if persist {
+		cfg.Dir = b.TempDir()
+		cfg.SnapshotEvery = 1 << 16
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Close()
+	addr := s.Addr().String()
+
+	clients := make([]*Client, conns)
+	for i := range clients {
+		cl, err := Dial(addr)
+		if err != nil {
+			b.Fatalf("Dial %d: %v", i, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+	const keys = 4096
+	for k := int64(0); k < keys; k++ {
+		if _, err := clients[0].Put(k, k); err != nil {
+			b.Fatalf("seed put: %v", err)
+		}
+	}
+
+	total := int64(b.N)
+	if min := int64(conns) * int64(depth) * 2; total < min {
+		total = min
+	}
+	var remaining atomic.Int64
+	remaining.Store(total)
+	var hist wfstats.Histogram
+	flushes0 := s.writerFlushes.Load()
+	var fsyncs0 int64
+	if persist {
+		fsyncs0 = s.store.Stats().Fsyncs
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w]
+			rng := rand.New(rand.NewSource(int64(w)*9176 + 1))
+			var (
+				mu   sync.Mutex
+				enqs = make(map[uint64]time.Time, depth)
+				done atomic.Bool
+			)
+			tokens := make(chan struct{}, depth)
+			for i := 0; i < depth; i++ {
+				tokens <- struct{}{}
+			}
+			recvDone := make(chan struct{})
+			go func() {
+				defer close(recvDone)
+				for {
+					id, _, err := cl.Recv()
+					if err != nil {
+						if !done.Load() {
+							b.Errorf("conn %d recv: %v", w, err)
+						}
+						return
+					}
+					mu.Lock()
+					enq := enqs[id]
+					delete(enqs, id)
+					mu.Unlock()
+					hist.Observe(time.Since(enq).Microseconds())
+					tokens <- struct{}{}
+				}
+			}()
+			for remaining.Add(-1) >= 0 {
+				enq := time.Now()
+				select {
+				case <-tokens:
+				default:
+					if err := cl.Flush(); err != nil {
+						b.Errorf("conn %d flush: %v", w, err)
+						return
+					}
+					<-tokens
+				}
+				k := rng.Int63n(keys)
+				op := seqspec.Op{Kind: "get", Args: []int64{k}}
+				if rng.Intn(10) == 0 {
+					op = seqspec.Op{Kind: "put", Args: []int64{k, int64(w)}}
+				}
+				mu.Lock()
+				id, err := cl.Send(op)
+				if err == nil {
+					enqs[id] = enq
+				}
+				mu.Unlock()
+				if err != nil {
+					b.Errorf("conn %d send: %v", w, err)
+					return
+				}
+			}
+			cl.Flush()
+			for i := 0; i < depth; i++ {
+				<-tokens
+			}
+			done.Store(true)
+			cl.Close()
+			<-recvDone
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if b.Failed() {
+		return
+	}
+
+	ops := hist.Count()
+	if ops == 0 {
+		return
+	}
+	b.ReportMetric(float64(ops)/elapsed.Seconds(), "ops/s")
+	b.ReportMetric(float64(hist.Quantile(0.50)), "p50-µs")
+	b.ReportMetric(float64(hist.Quantile(0.95)), "p95-µs")
+	b.ReportMetric(float64(hist.Quantile(0.99)), "p99-µs")
+	b.ReportMetric(float64(s.writerFlushes.Load()-flushes0)/float64(ops), "wsyscalls/op")
+	if persist {
+		b.ReportMetric(float64(s.store.Stats().Fsyncs-fsyncs0)/float64(ops), "fsyncs/op")
+	} else {
+		b.ReportMetric(0, "fsyncs/op")
+	}
+}
+
+func BenchmarkServerPipelined(b *testing.B) {
+	b.Run("conns=64/depth=16", func(b *testing.B) { benchPipelined(b, 64, 16, false) })
+	b.Run("conns=1024/depth=16", func(b *testing.B) { benchPipelined(b, 1024, 16, false) })
+	b.Run("conns=1024/depth=16/persist", func(b *testing.B) { benchPipelined(b, 1024, 16, true) })
 }

@@ -9,18 +9,22 @@ import (
 )
 
 // Client is a single-connection front end to a Server. It is not safe for
-// concurrent use — give each goroutine its own Client (that is the point:
-// one client, one leased pid on the server side).
+// two goroutines to share a role — but the roles split: exactly one
+// goroutine may Send/Flush while exactly one other Recvs, which is the
+// shape a pipelined load generator wants (that is the point: one client,
+// one leased pid on the server side).
 //
-// The split Send/Flush/Recv surface exists for pipelining: a load
-// generator queues several requests, flushes once, then drains the
-// responses, which come back in request order.
+// The split Send/Flush/Recv surface exists for pipelining: a sender
+// queues several requests and flushes once, a receiver drains the
+// responses. Responses may come back in any order — the server answers
+// reads inline while earlier writes still wait on their fsync — so a
+// pipelined caller must reassemble by the id Send returned and Recv
+// reports. Do keeps one request in flight and needs no reassembly.
 type Client struct {
 	c      net.Conn
-	br     *bufio.Reader
+	dec    *wire.Decoder
 	bw     *bufio.Writer
 	nextID uint64
-	rbuf   []byte
 	wbuf   []byte
 }
 
@@ -31,9 +35,9 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		c:  c,
-		br: bufio.NewReaderSize(c, 4096),
-		bw: bufio.NewWriterSize(c, 4096),
+		c:   c,
+		dec: wire.NewDecoder(c),
+		bw:  bufio.NewWriterSize(c, 4096),
 	}, nil
 }
 
@@ -50,16 +54,17 @@ func (cl *Client) Send(op seqspec.Op) (uint64, error) {
 // Flush pushes queued requests onto the socket.
 func (cl *Client) Flush() error { return cl.bw.Flush() }
 
-// Recv reads the next response. A server-side refusal surfaces as a
-// *wire.RemoteError with the id of the refused request.
+// Recv reads the next response — not necessarily the oldest request's;
+// match by the returned id. A server-side refusal surfaces as a
+// *wire.RemoteError with the id of the refused request. The streaming
+// decoder drains whole coalesced ack batches from one read syscall.
 //
 //wf:blocking waits for the server's response frame
 func (cl *Client) Recv() (uint64, int64, error) {
-	payload, err := wire.ReadFrame(cl.br, cl.rbuf)
+	payload, err := cl.dec.Next()
 	if err != nil {
 		return 0, 0, err
 	}
-	cl.rbuf = payload
 	return wire.DecodeReply(payload)
 }
 

@@ -4,10 +4,14 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"waitfree/internal/seqspec"
 )
 
 // serverCycle runs one full server lifetime: start (with persistence, so
-// the appliers and stats loop spawn too), serve a few clients, close.
+// the appliers and stats loop spawn too), serve a few clients — including
+// a pipelined burst, so each connection's writer goroutine carries real
+// out-of-order traffic before the shutdown edge — then close.
 func serverCycle(t *testing.T, dir string) {
 	t.Helper()
 	s, err := New(Config{Addr: "127.0.0.1:0", StatsAddr: "127.0.0.1:0", Shards: 4, Procs: 8, Dir: dir})
@@ -27,6 +31,37 @@ func serverCycle(t *testing.T, dir string) {
 				s.Close()
 				t.Fatalf("Put: %v", err)
 			}
+		}
+		// Pipelined burst: mixed writes and reads in flight together, so
+		// completions traverse both the applier path and the inline fast
+		// path while the window is deep.
+		pending := map[uint64]bool{}
+		for k := int64(0); k < 16; k++ {
+			op := seqspec.Op{Kind: "put", Args: []int64{k % 4, k}}
+			if k%3 == 0 {
+				op = seqspec.Op{Kind: "get", Args: []int64{k % 4}}
+			}
+			id, err := cl.Send(op)
+			if err != nil {
+				cl.Close()
+				s.Close()
+				t.Fatalf("Send: %v", err)
+			}
+			pending[id] = true
+		}
+		if err := cl.Flush(); err != nil {
+			cl.Close()
+			s.Close()
+			t.Fatalf("Flush: %v", err)
+		}
+		for len(pending) > 0 {
+			id, _, err := cl.Recv()
+			if err != nil || !pending[id] {
+				cl.Close()
+				s.Close()
+				t.Fatalf("Recv: id %d, err %v", id, err)
+			}
+			delete(pending, id)
 		}
 		if _, err := cl.Get(1); err != nil {
 			cl.Close()

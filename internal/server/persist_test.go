@@ -6,10 +6,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"waitfree/internal/seqspec"
+	"waitfree/internal/wire"
 )
 
 // TestServerPersistRecovery: in-process crash drill — write through the
@@ -221,4 +223,134 @@ func dialRetry(t *testing.T, addr string) *Client {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+}
+
+// TestServerKill9PipelinedRecovery is the crash drill under pipelined
+// load: a sender goroutine keeps a deep window of unique-key puts in
+// flight while a receiver records which ids were acked, the server is
+// SIGKILLed mid-stream (acks still streaming back), and after restart
+// every acked write must be present — an acked-but-unpersisted write
+// surviving in the ack record but not the store is exactly the bug the
+// coalesced-ack path must not introduce.
+func TestServerKill9PipelinedRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a real binary; skipped in -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "wfserver")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/wfserver")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/wfserver: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+	addr := freeAddr(t)
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-dir", dataDir, "-snap-every", "64", "-shards", "4", "-procs", "16")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start wfserver: %v", err)
+		}
+		return cmd
+	}
+	srv := start()
+	defer func() { srv.Process.Kill(); srv.Wait() }()
+
+	cl := dialRetry(t, addr)
+
+	// Sender: unique keys k with value k*13, as deep a window as the
+	// server allows, flushed in small batches. Receiver: records acked
+	// ids. Both race the kill below; errors past the kill are expected.
+	const maxKeys = 1 << 20
+	idKey := make(map[uint64]int64, 4096)
+	var mu sync.Mutex
+	acked := make(map[int64]bool, 4096)
+	sendDone := make(chan struct{})
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		for k := int64(0); k < maxKeys; k++ {
+			mu.Lock()
+			id, err := cl.Send(seqspec.Op{Kind: "put", Args: []int64{k, k * 13}})
+			if err == nil {
+				idKey[id] = k
+			}
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+			if k%16 == 15 {
+				if err := cl.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer close(recvDone)
+		for {
+			id, _, err := cl.Recv()
+			if err != nil {
+				if _, ok := err.(*wire.RemoteError); !ok {
+					return // transport error: conn died (the kill)
+				}
+				t.Errorf("pipelined put refused: %v", err)
+				continue
+			}
+			mu.Lock()
+			acked[idKey[id]] = true
+			mu.Unlock()
+		}
+	}()
+
+	// Let a few thousand acks accumulate, then SIGKILL mid-stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 2000 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	srv.Wait()
+	cl.Close()
+	<-sendDone
+	<-recvDone
+	mu.Lock()
+	keys := make([]int64, 0, len(acked))
+	for k := range acked {
+		keys = append(keys, k)
+	}
+	mu.Unlock()
+	if len(keys) < 100 {
+		t.Fatalf("only %d acked writes before the kill; load generator never got going", len(keys))
+	}
+
+	srv = start()
+	cl2 := dialRetry(t, addr)
+	defer cl2.Close()
+	lost := 0
+	for _, k := range keys {
+		v, err := cl2.Get(k)
+		if err != nil {
+			t.Fatalf("get(%d) after kill -9: %v", k, err)
+		}
+		if v != k*13 {
+			lost++
+			if lost <= 5 {
+				t.Errorf("get(%d) after kill -9 = %d, want %d: acked write lost", k, v, k*13)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d acked pipelined writes lost across kill -9", lost, len(keys))
+	}
+	t.Logf("all %d acked pipelined writes survived kill -9", len(keys))
 }

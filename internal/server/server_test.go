@@ -56,8 +56,10 @@ func TestServerBasicOps(t *testing.T) {
 	}
 }
 
-// TestServerPipelining: many requests queued before one flush come back in
-// request order with matching ids.
+// TestServerPipelining: many requests queued before one flush each come
+// back exactly once, reassembled by id — order is the server's choice (a
+// read answered inline may overtake a write), so the test demands the id
+// set, not the sequence.
 func TestServerPipelining(t *testing.T) {
 	s := startServer(t, Config{Shards: 4, Procs: 8})
 	cl, err := Dial(s.Addr().String())
@@ -67,13 +69,16 @@ func TestServerPipelining(t *testing.T) {
 	defer cl.Close()
 
 	const n = 100
-	ids := make([]uint64, n)
+	pending := make(map[uint64]bool, n)
 	for i := 0; i < n; i++ {
 		id, err := cl.Send(seqspec.Op{Kind: "put", Args: []int64{int64(i), int64(i * 2)}})
 		if err != nil {
 			t.Fatalf("Send: %v", err)
 		}
-		ids[i] = id
+		if pending[id] {
+			t.Fatalf("Send reused id %d", id)
+		}
+		pending[id] = true
 	}
 	if err := cl.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
@@ -83,12 +88,112 @@ func TestServerPipelining(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Recv %d: %v", i, err)
 		}
-		if id != ids[i] {
-			t.Fatalf("response %d has id %d, want %d (responses must preserve request order)", i, id, ids[i])
+		if !pending[id] {
+			t.Fatalf("response %d has id %d: duplicate or never requested", i, id)
 		}
+		delete(pending, id)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("%d requests never answered", len(pending))
 	}
 	if v, err := cl.Get(n - 1); err != nil || v != (n-1)*2 {
 		t.Fatalf("get(%d) = (%d, %v), want %d", n-1, v, err, (n-1)*2)
+	}
+}
+
+// TestServerPipelinedDifferential is the pipelined-client correctness
+// test: one client runs a mixed op stream fully pipelined (writes and
+// dependent reads in flight together, completions arriving out of order)
+// against a persistent server, while the same stream runs sequentially on
+// a second fresh server. Program order per connection must be preserved —
+// every pipelined response, reassembled by request id, must equal the
+// sequential run's response at the same stream position.
+func TestServerPipelinedDifferential(t *testing.T) {
+	const (
+		nOps  = 600
+		keys  = 16
+		depth = 32
+	)
+	rng := rand.New(rand.NewSource(42))
+	ops := make([]seqspec.Op, nOps)
+	for i := range ops {
+		k := rng.Int63n(keys)
+		switch rng.Intn(6) {
+		case 0, 1:
+			ops[i] = seqspec.Op{Kind: "put", Args: []int64{k, rng.Int63n(1000)}}
+		case 2:
+			ops[i] = seqspec.Op{Kind: "del", Args: []int64{k}}
+		case 3:
+			ops[i] = seqspec.Op{Kind: "len"}
+		default:
+			ops[i] = seqspec.Op{Kind: "get", Args: []int64{k}}
+		}
+	}
+
+	run := func(pipelined bool) []int64 {
+		s := startServer(t, Config{Shards: 4, Procs: 8, Dir: t.TempDir(), Window: depth})
+		cl, err := Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer cl.Close()
+		out := make([]int64, nOps)
+		if !pipelined {
+			for i, op := range ops {
+				v, err := cl.Do(op)
+				if err != nil {
+					t.Fatalf("sequential Do(%s): %v", op, err)
+				}
+				out[i] = v
+			}
+			return out
+		}
+		// Pipelined: keep up to depth requests in flight, reassemble by id.
+		idx := make(map[uint64]int, depth)
+		inFlight := 0
+		recv := func() {
+			id, v, err := cl.Recv()
+			if err != nil {
+				t.Fatalf("pipelined Recv: %v", err)
+			}
+			i, ok := idx[id]
+			if !ok {
+				t.Fatalf("response id %d: duplicate or never requested", id)
+			}
+			delete(idx, id)
+			out[i] = v
+			inFlight--
+		}
+		for i, op := range ops {
+			if inFlight == depth {
+				if err := cl.Flush(); err != nil {
+					t.Fatalf("Flush: %v", err)
+				}
+				recv()
+			}
+			id, err := cl.Send(op)
+			if err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			idx[id] = i
+			inFlight++
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		for inFlight > 0 {
+			recv()
+		}
+		return out
+	}
+
+	want := run(false)
+	got := run(true)
+	for i := range ops {
+		if got[i] != want[i] {
+			t.Fatalf("op %d (%s): pipelined response %d, sequential %d — program order broken",
+				i, ops[i], got[i], want[i])
+		}
 	}
 }
 

@@ -152,6 +152,18 @@ func (s *Sharded) Invoke(pid int, op seqspec.Op) int64 {
 	return total
 }
 
+// InvokeBatch executes ops — every one already routed to shard sh by the
+// caller (the server's per-shard applier partitions work with ShardOf) —
+// as one announced wave on that shard: one replay pass settles the whole
+// batch, one snapshot covers it (see core.Universal.InvokeBatch).
+// Responses land in out[i]. The per-pid sequential contract applies; the
+// caller is responsible for sh being each op's ShardOf route — this method
+// deliberately skips per-op routing, which is the point of batching.
+func (s *Sharded) InvokeBatch(sh, pid int, ops []seqspec.Op, out []int64) {
+	s.shardOps[sh].Add(int64(len(ops)))
+	s.shards[sh].InvokeBatch(pid, ops, out)
+}
+
 // Detach releases pid's log-GC pin on every shard (core.Universal.Detach):
 // call it when a leased pid's client departs, so a register frozen at the
 // client's last operation stops pinning any shard's low-water mark. Like

@@ -231,6 +231,53 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
+// Quantile estimates the q-quantile (q in [0,1], clamped) of the observed
+// values: the bucket holding the rank-⌈q·count⌉ observation, linearly
+// interpolated within the bucket's power-of-two range and clamped to the
+// observed maximum. The coarse buckets make this an estimate with relative
+// error bounded by the bucket width (a factor of two), which is the usual
+// resolution latency percentiles are quoted at; the reading is built from
+// one atomic load per bucket, so concurrent Observes may straddle the scan
+// with the standard monotone-snapshot semantics. 0 on a nil histogram or
+// with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1 // 1-based rank of the quantile
+	var seen int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			low := BucketLow(i)
+			v := low
+			if i > 1 {
+				high := 2*low - 1
+				v = low + int64(float64(rank-seen-1)/float64(n)*float64(high-low))
+			}
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+		seen += n
+	}
+	return h.max.Load()
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot: Count values in
 // [Low, High] (High is inclusive; for bucket 0, Low = High = 0).
 type Bucket struct {

@@ -310,3 +310,50 @@ func TestBucketLow(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram quantile != 0")
+	}
+	h = &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile != 0")
+	}
+	// A point mass: every quantile is that value's bucket, clamped to max.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v < 64 || v > 100 {
+			t.Fatalf("point-mass Quantile(%v) = %d, want within [64, 100]", q, v)
+		}
+	}
+	// A spread: 90 small values and 10 large ones; the p50 must sit with
+	// the small mass and the p99 with the large, within bucket resolution.
+	h2 := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h2.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(10000)
+	}
+	if v := h2.Quantile(0.5); v < 8 || v > 15 {
+		t.Fatalf("p50 = %d, want in value-10's bucket [8,15]", v)
+	}
+	if v := h2.Quantile(0.99); v < 8192 || v > 10000 {
+		t.Fatalf("p99 = %d, want in value-10000's bucket clamped to max", v)
+	}
+	// Quantiles are monotone in q and clamp out-of-range q.
+	prev := int64(-1)
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.75, 0.95, 1, 2} {
+		v := h2.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+	if h2.Quantile(1) != h2.Max() {
+		t.Fatalf("Quantile(1) = %d, want max %d", h2.Quantile(1), h2.Max())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"io"
 	"testing"
+	"testing/iotest"
 
 	"waitfree/internal/seqspec"
 	"waitfree/internal/wire"
@@ -32,10 +33,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frame(wire.AppendRequest(nil, 2, seqspec.Op{Kind: "len"})))
 	f.Add(frame(wire.AppendResponse(nil, 3, -1)))
 	f.Add(frame(wire.AppendError(nil, 4, "no free pid")))
-	f.Add(frame(nil))                           // empty payload
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})       // prefix above MaxFrame
-	f.Add([]byte{0, 0, 0, 9, wire.MsgOp, 0, 0}) // cut mid-frame
-	f.Add(frame([]byte{wire.MsgErr, 0, 0, 0, 0, 0, 0, 0, 5, 0, 200})) // reason longer than payload
+	f.Add(frame(nil))                                                                   // empty payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                                               // prefix above MaxFrame
+	f.Add([]byte{0, 0, 0, 9, wire.MsgOp, 0, 0})                                         // cut mid-frame
+	f.Add(frame([]byte{wire.MsgErr, 0, 0, 0, 0, 0, 0, 0, 5, 0, 200}))                   // reason longer than payload
 	f.Add(frame([]byte{wire.MsgOp, 0, 0, 0, 0, 0, 0, 0, 6, 3, 'p', 'u', 't', 1, 0x80})) // truncated varint
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -75,6 +76,107 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDecodeStream drives the streaming Decoder the pipelined server hot
+// path uses, differentially against the one-frame ReadFrame reference:
+// over the same byte stream both must produce the same frame sequence and
+// the same terminal error, whatever chunk sizes the transport delivers —
+// the fuzzer's streams include multi-frame pipelined input, frames split
+// at every boundary (chunk size 1 exercises all of them), and corruption
+// mid-stream (a flipped length prefix desynchronizes everything after it
+// identically for both decoders).
+func FuzzDecodeStream(f *testing.F) {
+	// Pipelined multi-frame stream: several requests back to back, as a
+	// client burst puts them on the wire.
+	var burst []byte
+	for i := 0; i < 5; i++ {
+		burst = append(burst, frame(wire.AppendRequest(nil, uint64(i+1),
+			seqspec.Op{Kind: "put", Args: []int64{int64(i), int64(-i)}}))...)
+	}
+	f.Add(burst)
+	// Coalesced response stream, as the server's writer flushes it.
+	var acks []byte
+	acks = wire.AppendResponseFrame(acks, 1, 10)
+	acks = wire.AppendErrorFrame(acks, 2, "refused")
+	acks = wire.AppendResponseFrame(acks, 3, -1)
+	f.Add(acks)
+	// Corrupt mid-stream: a clean frame, then a garbage length prefix.
+	corrupt := append(append([]byte{}, frame(wire.AppendResponse(nil, 1, 7))...),
+		0xff, 0xff, 0xff, 0xff, 1, 2, 3)
+	f.Add(corrupt)
+	// Cut mid-frame after a clean frame.
+	f.Add(append(append([]byte{}, frame(nil)...), 0, 0, 0, 9, wire.MsgOp))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reference: the loop a pre-pipelining server ran.
+		var refFrames [][]byte
+		var refErr error
+		ref := bytes.NewReader(data)
+		for {
+			p, err := wire.ReadFrame(ref, nil)
+			if err != nil {
+				refErr = err
+				break
+			}
+			refFrames = append(refFrames, append([]byte(nil), p...))
+		}
+
+		// The Decoder must agree whatever the chunking; chunk 1 splits at
+		// every boundary, 3 and 16 straddle prefixes, 0 means one read.
+		for _, chunk := range []int{0, 1, 3, 16} {
+			var r io.Reader = bytes.NewReader(data)
+			if chunk > 0 {
+				r = iotest.OneByteReader(bytes.NewReader(data))
+				if chunk > 1 {
+					r = &chunked{data: data, n: chunk}
+				}
+			}
+			d := wire.NewDecoderSize(r, 16)
+			for i := 0; ; i++ {
+				p, err := d.Next()
+				if err != nil {
+					if err != refErr {
+						t.Fatalf("chunk=%d: terminal error %v, ReadFrame reference %v", chunk, err, refErr)
+					}
+					if i != len(refFrames) {
+						t.Fatalf("chunk=%d: %d frames before error, reference %d", chunk, i, len(refFrames))
+					}
+					break
+				}
+				if len(p) > wire.MaxFrame {
+					t.Fatalf("chunk=%d: frame of %d bytes above MaxFrame", chunk, len(p))
+				}
+				if i >= len(refFrames) || !bytes.Equal(p, refFrames[i]) {
+					t.Fatalf("chunk=%d: frame %d diverges from ReadFrame reference", chunk, i)
+				}
+			}
+		}
+	})
+}
+
+// chunked returns data in fixed-size chunks (the fuzz harness's own copy;
+// the exported Decoder tests keep theirs).
+type chunked struct {
+	data []byte
+	n    int
+}
+
+func (c *chunked) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
 }
 
 func opEqual(a, b seqspec.Op) bool {

@@ -16,14 +16,17 @@
 //	MsgResp response: [2][u64 id][i64 value] — op's response
 //	MsgErr  response: [3][u64 id][u16 n][n bytes] — op refused, UTF-8 reason
 //
-// Responses to pipelined requests come back in request order per
-// connection. An operation is encoded as [u8 len][kind][u8 argc][varint
-// args...]; varints are the signed zig-zag form (encoding/binary's
-// AppendVarint) since KV values are arbitrary int64s.
+// Responses to pipelined requests may come back in any order; the id a
+// request carries is echoed in its response, and clients reassemble by id.
+// (Pure reads can overtake in-flight writes on the server's pipelined hot
+// path — see internal/server.) An operation is encoded as [u8 len][kind]
+// [u8 argc][varint args...]; varints are the signed zig-zag form
+// (encoding/binary's AppendVarint) since KV values are arbitrary int64s.
 //
 // The codec functions are straight-line code over byte slices and claim
-// //wf:waitfree individually; only the two frame I/O functions touch the
-// syscall boundary and carry //wf:blocking.
+// //wf:waitfree individually; only the frame I/O paths — WriteFrame,
+// ReadFrame and the streaming Decoder (stream.go) — touch the syscall
+// boundary and carry //wf:blocking.
 package wire
 
 import (
